@@ -1,0 +1,191 @@
+//! Analytic figure series: buffer sizes, worst-case latency, memory.
+
+use vod_core::{memory, static_scheme, SizeTable, SystemParams};
+use vod_sched::{worst_initial_latency, SchedulingMethod};
+
+/// One `(n, static, dynamic)` series over the load range `1..=N`.
+#[derive(Clone, Debug)]
+pub struct SchemeSeries {
+    /// The scheduling method the series was computed for.
+    pub method: SchedulingMethod,
+    /// The `k` (estimated additional requests) used for the dynamic
+    /// scheme — the measured worst-case averages of §5.1: 4 for
+    /// Round-Robin, 3 for Sweep\*/GSS\*.
+    pub k: usize,
+    /// `(n, static value, dynamic value)` triples; units depend on the
+    /// figure (bits or seconds).
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+/// The `k` the paper plugs into the analytic figures (§5.1, footnote 9):
+/// the worst-case integer average of estimated additional requests
+/// measured in Fig. 7a — 4 under Round-Robin (`T_log` = 40 min), 3 under
+/// Sweep\*/GSS\* (`T_log` = 20 min).
+#[must_use]
+pub fn paper_k(method: SchedulingMethod) -> usize {
+    match method {
+        SchedulingMethod::RoundRobin => 4,
+        _ => 3,
+    }
+}
+
+/// Fig. 9: buffer size (bits) allocated by each scheme vs. the number of
+/// streams in service.
+#[must_use]
+pub fn fig9_buffer_sizes(method: SchedulingMethod) -> SchemeSeries {
+    let params = SystemParams::paper_defaults(method);
+    let table = SizeTable::build(&params);
+    let k = paper_k(method);
+    let static_size = static_scheme::static_allocated_size(&params).as_f64();
+    let points = (1..=params.max_requests())
+        .map(|n| (n, static_size, table.size(n, k).as_f64()))
+        .collect();
+    SchemeSeries { method, k, points }
+}
+
+/// Fig. 10: worst-case initial latency (seconds) vs. streams in service,
+/// by applying each scheme's buffer size to Eqs. 2–4.
+#[must_use]
+pub fn fig10_worst_latency(method: SchedulingMethod) -> SchemeSeries {
+    let params = SystemParams::paper_defaults(method);
+    let table = SizeTable::build(&params);
+    let k = paper_k(method);
+    let static_size = static_scheme::static_allocated_size(&params);
+    let points = (1..=params.max_requests())
+        .map(|n| {
+            let il_static =
+                worst_initial_latency(method, &params.disk, static_size, n).as_secs_f64();
+            let il_dynamic =
+                worst_initial_latency(method, &params.disk, table.size(n, k), n).as_secs_f64();
+            (n, il_static, il_dynamic)
+        })
+        .collect();
+    SchemeSeries { method, k, points }
+}
+
+/// Fig. 12: minimum memory requirement (bits) vs. streams in service
+/// (Theorems 2–4 for the dynamic scheme; their `BS(N)`, `k = N − n`
+/// instantiation for the static one).
+#[must_use]
+pub fn fig12_min_memory(method: SchedulingMethod) -> SchemeSeries {
+    let params = SystemParams::paper_defaults(method);
+    let table = SizeTable::build(&params);
+    let k = paper_k(method);
+    let points = (1..=params.max_requests())
+        .map(|n| {
+            let stat = memory::min_memory_static(&params, n).as_f64();
+            let dyna = memory::min_memory_dynamic(&params, &table, n, k).as_f64();
+            (n, stat, dyna)
+        })
+        .collect();
+    SchemeSeries { method, k, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_static_is_flat_and_dynamic_monotone() {
+        for m in SchedulingMethod::paper_methods() {
+            let s = fig9_buffer_sizes(m);
+            assert_eq!(s.points.len(), 79);
+            let first_static = s.points[0].1;
+            let mut prev_dyn = 0.0;
+            for &(n, st, dy) in &s.points {
+                if m != SchedulingMethod::Sweep {
+                    // Sweep's DL (and hence BS(N)) is n-free only per-n;
+                    // the static *allocation* is constant for all methods.
+                    assert!((st - first_static).abs() < 1e-9, "{m} n={n}");
+                }
+                // Sweep*'s per-buffer DL is γ(Cyln/n) and GSS*'s is
+                // γ(Cyln/min(g, n)); both *shrink* as n grows at small n,
+                // so their dynamic sizes may dip slightly. Round-Robin's
+                // DL is constant and strictly monotone.
+                if m == SchedulingMethod::RoundRobin {
+                    assert!(dy >= prev_dyn, "{m}: dynamic dips at n={n}");
+                }
+                // Near full load (n + k ≥ N) the dynamic size hits the
+                // static boundary, but with the *current* n's DL (Table 2
+                // applies γ(Cyln/n) for Sweep*), so it can poke a couple
+                // of percent above BS(N) computed at n = N.
+                assert!(dy <= st * 1.03, "{m}: dynamic above static at n={n}");
+                prev_dyn = dy;
+            }
+            // Converges at full load.
+            let last = s.points.last().expect("non-empty");
+            assert!((last.1 - last.2).abs() / last.1 < 1e-9, "{m}");
+        }
+    }
+
+    #[test]
+    fn fig9_uses_paper_k() {
+        assert_eq!(fig9_buffer_sizes(SchedulingMethod::RoundRobin).k, 4);
+        assert_eq!(fig9_buffer_sizes(SchedulingMethod::Sweep).k, 3);
+        assert_eq!(fig9_buffer_sizes(SchedulingMethod::GSS_PAPER).k, 3);
+    }
+
+    #[test]
+    fn fig10_static_round_robin_is_about_two_seconds() {
+        // 2·DL + BS(N)/TR ≈ 2·23.8 ms + 1.88 s ≈ 1.93 s — the plateau of
+        // Fig. 10a.
+        let s = fig10_worst_latency(SchedulingMethod::RoundRobin);
+        let (_, st, dy) = s.points[9]; // n = 10
+        assert!((st - 1.93).abs() < 0.05, "static {st}");
+        assert!(dy < 0.2, "dynamic at n=10 should be far below: {dy}");
+    }
+
+    #[test]
+    fn fig10_dynamic_below_static_almost_everywhere() {
+        // Same boundary artifact as Fig. 9: within a hair of full load the
+        // dynamic buffer uses DL(n) rather than DL(N), so allow 3%.
+        for m in SchedulingMethod::paper_methods() {
+            for &(n, st, dy) in &fig10_worst_latency(m).points {
+                assert!(dy <= st * 1.03, "{m} at n={n}: {dy} > {st}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_sweep_latency_grows_with_n() {
+        let s = fig10_worst_latency(SchedulingMethod::Sweep);
+        let early = s.points[4].1;
+        let late = s.points[70].1;
+        assert!(
+            late > early * 2.0,
+            "Eq. 3 is ~linear in n: {early} vs {late}"
+        );
+    }
+
+    #[test]
+    fn fig12_static_memory_is_large_and_dynamic_converges() {
+        for m in SchedulingMethod::paper_methods() {
+            let s = fig12_min_memory(m);
+            for &(n, st, dy) in &s.points {
+                // Same full-load boundary artifact: the dynamic k (4 resp.
+                // 3) slightly exceeds the static instantiation's
+                // k = N − n there (worth ~3.5% on Theorem 2's stagger
+                // discount at n = 78).
+                assert!(dy <= st * 1.05, "{m} n={n}");
+                assert!(st > 0.0 && dy > 0.0, "{m} n={n}");
+            }
+            // At n = N the buffer sizes coincide, but the figures keep
+            // the measured k (4 / 3) in the memory theorems while the
+            // static instantiation uses k = 0 there: a ~2% stagger-term
+            // difference remains.
+            let last = s.points.last().expect("non-empty");
+            assert!((last.1 - last.2).abs() / last.1 < 0.05, "{m} full load");
+        }
+    }
+
+    #[test]
+    fn fig12_round_robin_full_load_is_about_a_gigabyte() {
+        // Mem(79) ≈ 79·BS/2 + 79·CR·DL ≈ 1.1 GB — the paper's Fig. 12a
+        // right edge, and the reason Fig. 13's curves meet near 11 GB for
+        // ten disks.
+        let s = fig12_min_memory(SchedulingMethod::RoundRobin);
+        let last = s.points.last().expect("non-empty");
+        let gb = vod_types::Bits::new(last.1).as_gigabytes();
+        assert!((gb - 1.13).abs() < 0.1, "full-load memory {gb} GB");
+    }
+}

@@ -1,0 +1,29 @@
+//! Closed-form (analysis-side) evaluation of the paper, plus the table
+//! and CSV rendering shared by the experiment harness.
+//!
+//! The paper's evaluation interleaves *analytic* figures — computed
+//! directly from the formulas — with *simulated* ones. This crate owns the
+//! analytic half:
+//!
+//! * [`figures::fig9_buffer_sizes`] — buffer size vs. `n` (Fig. 9),
+//! * [`figures::fig10_worst_latency`] — worst-case initial latency vs.
+//!   `n` (Fig. 10, Eqs. 2–4),
+//! * [`figures::fig12_min_memory`] — minimum memory vs. `n` (Fig. 12,
+//!   Theorems 2–4),
+//! * [`capacity::fig13_capacity`] — concurrent streams vs. system memory
+//!   on a 10-disk array with Zipf disk load (Fig. 13),
+//!
+//! and the presentation helpers ([`table::Table`], [`table::write_csv`])
+//! that the `repro` binary uses for every experiment, analytic or
+//! simulated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod figures;
+pub mod table;
+
+pub use capacity::{fig13_capacity, CapacityPoint};
+pub use figures::{fig10_worst_latency, fig12_min_memory, fig9_buffer_sizes, SchemeSeries};
+pub use table::{write_csv, Table};

@@ -1,0 +1,176 @@
+//! Aligned text tables and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table with a title, rendered to stdout by
+/// the `repro` binary and mirrored as CSV under `results/`.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the cell count should match the header.
+    pub fn row(&mut self, cells: &[String]) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(line, "{h:>width$}  ", width = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(line, "{cell:>width$}  ", width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Serializes as CSV (header + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", escaped.join(","));
+        }
+        out
+    }
+}
+
+/// Writes a table's CSV under `dir/name.csv`, creating the directory.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or the write.
+pub fn write_csv(table: &Table, dir: &Path, name: &str) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}.csv")), table.to_csv())
+}
+
+/// Formats a float with a sensible number of digits for tables.
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["n", "value"]);
+        t.row(&["1".into(), "10.5".into()]);
+        t.row(&["20".into(), "3".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let out = sample().render();
+        assert!(out.contains("## Demo"));
+        let lines: Vec<&str> = out.lines().collect();
+        // Header then separator then two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains('n'));
+        assert!(lines[3].ends_with("10.5"));
+        assert!(!sample().is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next(), Some("n,value"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["hello, \"world\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    fn writes_csv_file() {
+        let dir = std::env::temp_dir().join("vod_analysis_table_test");
+        write_csv(&sample(), &dir, "demo").expect("writable temp dir");
+        let content = std::fs::read_to_string(dir.join("demo.csv")).expect("file written");
+        assert!(content.starts_with("n,value"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5), "1234");
+        assert_eq!(fmt_f64(12.3456), "12.346");
+        assert_eq!(fmt_f64(0.01234), "0.01234");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the analytic capacity model.
+
+use proptest::prelude::*;
+use vod_analysis::fig13_capacity;
+use vod_core::{SchemeKind, SystemParams};
+use vod_sched::SchedulingMethod;
+use vod_types::Bits;
+
+fn params_for(method: SchedulingMethod) -> SystemParams {
+    SystemParams::paper_defaults(method)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn capacity_is_monotone_in_memory_and_bounded(
+        theta in 0.0f64..=1.0,
+        disks in 1usize..=10,
+        gb_lo in 0.5f64..4.0,
+    ) {
+        let memories = [
+            Bits::from_gigabytes(gb_lo),
+            Bits::from_gigabytes(gb_lo * 2.0),
+            Bits::from_gigabytes(gb_lo * 4.0),
+        ];
+        for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
+            let pts = fig13_capacity(
+                &params_for(SchedulingMethod::RoundRobin),
+                scheme,
+                disks,
+                theta,
+                &memories,
+            );
+            prop_assert_eq!(pts.len(), 3);
+            let mut prev = 0usize;
+            for p in &pts {
+                prop_assert!(p.concurrent >= prev, "{scheme}: monotone in memory");
+                prop_assert!(p.concurrent <= 79 * disks, "{scheme}: disk bound");
+                prop_assert!(p.used <= p.memory, "{scheme}: feasible operating point");
+                prev = p.concurrent;
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_never_loses_to_static(
+        theta in 0.0f64..=1.0,
+        gb in 0.5f64..12.0,
+    ) {
+        let memories = [Bits::from_gigabytes(gb)];
+        let p = params_for(SchedulingMethod::RoundRobin);
+        let st = fig13_capacity(&p, SchemeKind::Static, 10, theta, &memories);
+        let dy = fig13_capacity(&p, SchemeKind::Dynamic, 10, theta, &memories);
+        // Within a hair of full load the dynamic curve keeps the measured
+        // k = 4 in Theorem 2 while the static instantiation has k = 0, so
+        // its memory is ~3% higher and static can edge ahead by a few
+        // streams right at the crossover (the same boundary artifact as
+        // Figs. 9/12). Everywhere else dynamic dominates outright.
+        prop_assert!(
+            dy[0].concurrent + 25 >= st[0].concurrent,
+            "dynamic {} vs static {}",
+            dy[0].concurrent,
+            st[0].concurrent
+        );
+        if st[0].concurrent < 700 {
+            prop_assert!(dy[0].concurrent >= st[0].concurrent);
+        }
+    }
+
+    #[test]
+    fn more_disks_never_reduce_capacity(theta in 0.0f64..=1.0) {
+        let memories = [Bits::from_gigabytes(4.0)];
+        let p = params_for(SchedulingMethod::RoundRobin);
+        let mut prev = 0usize;
+        for disks in [1usize, 2, 5, 10] {
+            let pts = fig13_capacity(&p, SchemeKind::Dynamic, disks, theta, &memories);
+            prop_assert!(
+                pts[0].concurrent >= prev,
+                "capacity dropped going to {disks} disks"
+            );
+            prev = pts[0].concurrent;
+        }
+    }
+}

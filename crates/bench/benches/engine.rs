@@ -1,0 +1,77 @@
+//! Throughput of the simulators: buffer-level engine runs (one simulated
+//! hour, per scheme × method) and the admission-level capacity simulator.
+//! These time the code paths every figure regeneration exercises.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vod_core::{SchemeKind, SystemParams};
+use vod_sched::SchedulingMethod;
+use vod_sim::{CapacityConfig, CapacitySim, DiskEngine, EngineConfig};
+use vod_types::{Bits, Seconds};
+use vod_workload::{generate, Workload, WorkloadConfig};
+
+fn one_hour_workload(seed: u64) -> Workload {
+    let mut cfg = WorkloadConfig::paper_single_disk(1.0, 40.0);
+    cfg.duration = Seconds::from_hours(1.0);
+    cfg.peak = Seconds::from_minutes(30.0);
+    generate(&cfg, seed).expect("valid workload")
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let workload = one_hour_workload(1);
+    let mut group = c.benchmark_group("disk_engine_1h");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
+        for method in SchedulingMethod::paper_methods() {
+            group.bench_function(format!("{}_{}", scheme.label(), method.label()), |b| {
+                b.iter(|| {
+                    let engine = DiskEngine::new(EngineConfig::paper(method, scheme))
+                        .expect("valid engine config");
+                    black_box(engine.run(&workload.arrivals))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_capacity_sim(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::paper_ten_disk(0.5, 5_000.0);
+    cfg.duration = Seconds::from_hours(6.0);
+    cfg.peak = Seconds::from_hours(2.0);
+    let workload = generate(&cfg, 2).expect("valid workload");
+    let mut group = c.benchmark_group("capacity_sim_10disk");
+    group.sample_size(20);
+    for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
+        group.bench_function(scheme.label(), |b| {
+            let sim = CapacitySim::new(CapacityConfig {
+                params: SystemParams::paper_defaults(SchedulingMethod::RoundRobin),
+                scheme,
+                disks: 10,
+                total_memory: Bits::from_gigabytes(4.0),
+                t_log: Seconds::from_minutes(40.0),
+            })
+            .expect("valid capacity config");
+            b.iter(|| black_box(sim.run(&workload)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let cfg = WorkloadConfig::paper_single_disk(0.0, 1440.0);
+    c.bench_function("workload_generate_24h", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(generate(&cfg, seed).expect("valid workload"))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_capacity_sim,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] <experiment>...
+//! repro [--quick] all
+//! repro --list
+//! ```
+//!
+//! Each experiment prints aligned tables to stdout and mirrors them as CSV
+//! under `results/`. `--quick` runs the simulated experiments at a reduced
+//! scale (6 simulated hours, 2 seeds) — shapes hold, noise is higher.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use vod_analysis::{write_csv, Table};
+use vod_bench::{
+    fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr, Scale,
+};
+
+const EXPERIMENTS: [(&str, &str); 14] = [
+    ("tab3", "disk profile constants and derived N (analysis)"),
+    ("fig6", "concurrent streams vs time of day (simulation)"),
+    ("fig7", "estimator quality vs T_log (simulation)"),
+    ("fig8", "estimator quality vs alpha (simulation)"),
+    ("fig9", "buffer size vs n (analysis)"),
+    ("fig10", "worst-case initial latency vs n (analysis)"),
+    ("fig11", "average initial latency vs n (simulation)"),
+    ("fig12", "minimum memory requirement vs n (analysis)"),
+    ("fig13", "capacity vs memory, 10 disks (analysis)"),
+    ("fig14", "capacity vs memory, 10 disks (simulation)"),
+    (
+        "tab4",
+        "average initial-latency reduction ratios (simulation)",
+    ),
+    ("tab5", "average capacity improvement ratios (simulation)"),
+    ("gss_g", "extension: memory vs GSS group size (analysis)"),
+    ("vcr", "extension: VCR responsiveness (simulation)"),
+];
+
+fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Table>> {
+    match name {
+        "tab3" => Some(tab3()),
+        "fig6" => Some(fig6(scale)),
+        "fig7" => Some(fig7(scale)),
+        "fig8" => Some(fig8(scale)),
+        "fig9" => Some(fig9()),
+        "fig10" => Some(fig10()),
+        "fig11" => Some(fig11(scale)),
+        "fig12" => Some(fig12()),
+        "fig13" => Some(fig13()),
+        "fig14" => Some(fig14(scale)),
+        "tab4" => Some(tab4(scale)),
+        "tab5" => Some(tab5(scale)),
+        "gss_g" => Some(gss_g()),
+        "vcr" => Some(vcr(scale)),
+        _ => None,
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: repro [--quick] <experiment>... | all | --list");
+    eprintln!("experiments:");
+    for (name, desc) in EXPERIMENTS {
+        eprintln!("  {name:<6} {desc}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    let mut scale = Scale::Full;
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--list" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "all" => names.extend(EXPERIMENTS.iter().map(|(n, _)| (*n).to_owned())),
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let results_dir = Path::new("results");
+    for name in names {
+        let started = Instant::now();
+        let Some(tables) = run_experiment(&name, scale) else {
+            eprintln!("unknown experiment `{name}`");
+            print_usage();
+            return ExitCode::FAILURE;
+        };
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            let csv_name = if tables.len() == 1 {
+                name.clone()
+            } else {
+                format!("{name}_{i}")
+            };
+            if let Err(e) = write_csv(table, results_dir, &csv_name) {
+                eprintln!("warning: could not write results/{csv_name}.csv: {e}");
+            }
+        }
+        eprintln!("[{name} done in {:.1?}]", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,17 @@
+//! Experiment implementations behind the `repro` binary and the Criterion
+//! benches: one function per table/figure of the paper, each returning the
+//! rendered [`Table`](vod_analysis::Table)s so callers can print them and mirror them to CSV.
+//!
+//! See `EXPERIMENTS.md` at the repository root for the experiment index
+//! and the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use experiments::{
+    fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr,
+};
+pub use scale::Scale;

@@ -1,0 +1,88 @@
+//! Experiment scaling: paper-sized runs vs. quick smoke runs.
+
+use vod_types::Seconds;
+
+/// How big to run the simulated experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's setup: 24 simulated hours, five seeds.
+    Full,
+    /// A fast smoke configuration (6 simulated hours, two seeds) for CI
+    /// and the Criterion benches. Shapes hold; absolute noise is higher.
+    Quick,
+}
+
+impl Scale {
+    /// Seeds to run (the paper uses five, §5.2).
+    #[must_use]
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scale::Full => vec![1, 2, 3, 4, 5],
+            Scale::Quick => vec![1, 2],
+        }
+    }
+
+    /// Simulated horizon.
+    #[must_use]
+    pub fn duration(self) -> Seconds {
+        match self {
+            Scale::Full => Seconds::from_hours(24.0),
+            Scale::Quick => Seconds::from_hours(6.0),
+        }
+    }
+
+    /// Peak hour of the arrival profile (hour 9 in the paper; scaled runs
+    /// keep the peak proportionally placed).
+    #[must_use]
+    pub fn peak(self) -> Seconds {
+        match self {
+            Scale::Full => Seconds::from_hours(9.0),
+            Scale::Quick => Seconds::from_hours(2.25),
+        }
+    }
+
+    /// Expected arrivals over the horizon. Calibration (see
+    /// EXPERIMENTS.md): 1 440/day gives a steady uniform-profile load of
+    /// ~60 streams (Fig. 6c's level) and saturates the disk around the
+    /// peak for θ ∈ {0, 0.5}, producing the rejections the paper reports
+    /// between hours 7 and 13.
+    #[must_use]
+    pub fn expected_arrivals(self) -> f64 {
+        match self {
+            Scale::Full => 1440.0,
+            Scale::Quick => 360.0,
+        }
+    }
+
+    /// Offered arrivals for the 10-disk capacity runs (enough to saturate
+    /// all ten disks).
+    #[must_use]
+    pub fn capacity_arrivals(self) -> f64 {
+        match self {
+            Scale::Full => 20_000.0,
+            Scale::Quick => 5_000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_is_the_paper_setup() {
+        assert_eq!(Scale::Full.seeds().len(), 5);
+        assert_eq!(Scale::Full.duration(), Seconds::from_hours(24.0));
+        assert_eq!(Scale::Full.peak(), Seconds::from_hours(9.0));
+    }
+
+    #[test]
+    fn quick_is_smaller_everywhere() {
+        assert!(Scale::Quick.seeds().len() < Scale::Full.seeds().len());
+        assert!(Scale::Quick.duration() < Scale::Full.duration());
+        assert!(Scale::Quick.expected_arrivals() < Scale::Full.expected_arrivals());
+        assert!(Scale::Quick.capacity_arrivals() < Scale::Full.capacity_arrivals());
+        // Peak stays inside the horizon.
+        assert!(Scale::Quick.peak() < Scale::Quick.duration());
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared buffer-pool substrate for VOD servers.
+//!
+//! §2.1 of the paper fixes the memory model this crate implements:
+//!
+//! * every active stream owns one logical buffer, filled once per service
+//!   period by the server;
+//! * streams consume at their consumption rate `CR` and release memory the
+//!   moment data is consumed (*use-it-and-toss-it*), so buffers share one
+//!   physical pool;
+//! * memory is handed out by the **page**, but pages need not be physically
+//!   contiguous (a buffer is a logically contiguous chain of pages), so
+//!   sharing causes no fragmentation. The paper's analysis then idealizes
+//!   pages to **variable-length** (bit-granular) allocation, noting the
+//!   difference is negligible because pages are much smaller than buffers.
+//!
+//! [`BufferPool`] supports both granularities:
+//! [`Granularity::Variable`] reproduces the analysis exactly, while
+//! [`Granularity::Pages`] rounds each buffer's footprint up to whole pages
+//! so the idealization itself can be measured (see the pool tests and the
+//! `ablation` benches).
+//!
+//! The pool is internally synchronized (`parking_lot::Mutex`), so a
+//! threaded server can share one pool across admission and service paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{BufferPool, Granularity, PoolConfig, PoolStats};

@@ -1,0 +1,478 @@
+//! The shared buffer pool.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use vod_types::{Bits, ConfigError, RequestId, VodError};
+
+/// Allocation granularity of the pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Granularity {
+    /// Bit-granular, variable-length allocation — the idealization the
+    /// paper's analysis uses (§2.1).
+    Variable,
+    /// Page-granular allocation: each buffer's footprint is rounded up to
+    /// whole pages of the given size.
+    Pages {
+        /// Size of one page.
+        page: Bits,
+    },
+}
+
+/// Pool configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PoolConfig {
+    /// Physical memory available, or `None` for an unbounded pool (used
+    /// when the experiment only *measures* memory instead of limiting it).
+    pub capacity: Option<Bits>,
+    /// Allocation granularity.
+    pub granularity: Granularity,
+}
+
+impl PoolConfig {
+    /// An unbounded, variable-granularity pool — the configuration the
+    /// paper's analysis assumes.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        PoolConfig {
+            capacity: None,
+            granularity: Granularity::Variable,
+        }
+    }
+
+    /// A bounded, variable-granularity pool.
+    #[must_use]
+    pub fn bounded(capacity: Bits) -> Self {
+        PoolConfig {
+            capacity: Some(capacity),
+            granularity: Granularity::Variable,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for non-positive capacities or page sizes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(cap) = self.capacity {
+            if !cap.is_valid_size() || cap.is_zero() {
+                return Err(ConfigError::new("pool_capacity", "must be positive"));
+            }
+        }
+        if let Granularity::Pages { page } = self.granularity {
+            if !page.is_valid_size() || page.is_zero() {
+                return Err(ConfigError::new("page_size", "must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot of pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Memory currently held by all buffers (after granularity rounding).
+    pub used: Bits,
+    /// High-water mark of `used` since the last [`BufferPool::reset_peak`].
+    pub peak: Bits,
+    /// Number of `fill` operations performed.
+    pub fills: u64,
+    /// Number of registered (active) streams.
+    pub streams: usize,
+    /// Number of underflow events recorded by `consume`.
+    pub underflows: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Account {
+    /// Unconsumed data held for the stream.
+    data: Bits,
+    /// Physical footprint charged to the pool (≥ `data` under page mode).
+    held: Bits,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    accounts: HashMap<RequestId, Account>,
+    used: Bits,
+    peak: Bits,
+    fills: u64,
+    underflows: u64,
+}
+
+/// The shared memory pool backing every stream's buffer.
+///
+/// All sizes are logical ([`Bits`]); the pool is an accounting structure,
+/// not a byte arena — the simulator and a real server alike only need the
+/// occupancy numbers, which is also all the paper's theorems speak about.
+#[derive(Debug)]
+pub struct BufferPool {
+    config: PoolConfig,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Creates a pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid configuration.
+    pub fn new(config: PoolConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(BufferPool {
+            config,
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// The pool's configuration.
+    #[must_use]
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Registers a new stream with an empty buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VodError::UnknownRequest`]-symmetric failure — registering
+    /// the same stream twice is a caller bug and reported as `Config`.
+    pub fn register(&self, request: RequestId) -> Result<(), VodError> {
+        let mut inner = self.inner.lock();
+        if inner.accounts.contains_key(&request) {
+            return Err(ConfigError::new(
+                "request",
+                format!("{request} already registered with the pool"),
+            )
+            .into());
+        }
+        inner.accounts.insert(request, Account::default());
+        Ok(())
+    }
+
+    /// Removes a stream, releasing everything it held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VodError::UnknownRequest`] for unregistered streams.
+    pub fn unregister(&self, request: RequestId) -> Result<(), VodError> {
+        let mut inner = self.inner.lock();
+        let account = inner
+            .accounts
+            .remove(&request)
+            .ok_or(VodError::UnknownRequest(request))?;
+        inner.used -= account.held;
+        inner.used = inner.used.clamp_non_negative();
+        Ok(())
+    }
+
+    /// Adds `amount` bits of freshly read data to the stream's buffer,
+    /// acquiring memory from the pool.
+    ///
+    /// # Errors
+    ///
+    /// * [`VodError::UnknownRequest`] — stream not registered.
+    /// * [`VodError::OutOfMemory`] — a bounded pool cannot cover the new
+    ///   footprint; the fill is not applied.
+    pub fn fill(&self, request: RequestId, amount: Bits) -> Result<(), VodError> {
+        if !amount.is_valid_size() {
+            return Err(ConfigError::new("amount", "must be a valid size").into());
+        }
+        let mut inner = self.inner.lock();
+        let account = *inner
+            .accounts
+            .get(&request)
+            .ok_or(VodError::UnknownRequest(request))?;
+        let new_data = account.data + amount;
+        let new_held = self.footprint(new_data);
+        let delta = new_held - account.held;
+        if let Some(cap) = self.config.capacity {
+            if inner.used + delta > cap {
+                return Err(VodError::OutOfMemory {
+                    requested: delta,
+                    available: (cap - inner.used).clamp_non_negative(),
+                });
+            }
+        }
+        let entry = inner
+            .accounts
+            .get_mut(&request)
+            .expect("account existence checked above");
+        entry.data = new_data;
+        entry.held = new_held;
+        inner.used += delta;
+        inner.peak = inner.peak.max(inner.used);
+        inner.fills += 1;
+        Ok(())
+    }
+
+    /// Consumes `amount` bits from the stream's buffer, releasing memory
+    /// back to the pool (use-it-and-toss-it).
+    ///
+    /// On underflow the buffer is drained to zero, the event is counted,
+    /// and [`VodError::BufferUnderflow`] reports the deficit — the caller
+    /// (the simulator's continuity checker) decides whether that is fatal.
+    ///
+    /// # Errors
+    ///
+    /// * [`VodError::UnknownRequest`] — stream not registered.
+    /// * [`VodError::BufferUnderflow`] — the stream consumed past its data.
+    pub fn consume(&self, request: RequestId, amount: Bits) -> Result<(), VodError> {
+        if !amount.is_valid_size() {
+            return Err(ConfigError::new("amount", "must be a valid size").into());
+        }
+        let mut inner = self.inner.lock();
+        let account = *inner
+            .accounts
+            .get(&request)
+            .ok_or(VodError::UnknownRequest(request))?;
+        let deficit = (amount - account.data).clamp_non_negative();
+        let new_data = (account.data - amount).clamp_non_negative();
+        let new_held = self.footprint(new_data);
+        let delta = account.held - new_held;
+        {
+            let entry = inner
+                .accounts
+                .get_mut(&request)
+                .expect("account existence checked above");
+            entry.data = new_data;
+            entry.held = new_held;
+        }
+        inner.used -= delta;
+        inner.used = inner.used.clamp_non_negative();
+        if !deficit.is_zero() {
+            inner.underflows += 1;
+            return Err(VodError::BufferUnderflow { request, deficit });
+        }
+        Ok(())
+    }
+
+    /// Unconsumed data currently buffered for a stream.
+    #[must_use]
+    pub fn data_level(&self, request: RequestId) -> Option<Bits> {
+        self.inner.lock().accounts.get(&request).map(|a| a.data)
+    }
+
+    /// Current total occupancy.
+    #[must_use]
+    pub fn used(&self) -> Bits {
+        self.inner.lock().used
+    }
+
+    /// Free space, or `None` for an unbounded pool.
+    #[must_use]
+    pub fn free(&self) -> Option<Bits> {
+        self.config
+            .capacity
+            .map(|cap| (cap - self.inner.lock().used).clamp_non_negative())
+    }
+
+    /// Snapshot of all counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        PoolStats {
+            used: inner.used,
+            peak: inner.peak,
+            fills: inner.fills,
+            streams: inner.accounts.len(),
+            underflows: inner.underflows,
+        }
+    }
+
+    /// Resets the high-water mark to the current occupancy.
+    pub fn reset_peak(&self) {
+        let mut inner = self.inner.lock();
+        inner.peak = inner.used;
+    }
+
+    fn footprint(&self, data: Bits) -> Bits {
+        match self.config.granularity {
+            Granularity::Variable => data,
+            Granularity::Pages { page } => {
+                if data.is_zero() {
+                    Bits::ZERO
+                } else {
+                    let pages = (data.as_f64() / page.as_f64()).ceil();
+                    page * pages
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unbounded() -> BufferPool {
+        BufferPool::new(PoolConfig::unbounded()).expect("valid config")
+    }
+
+    const R0: RequestId = RequestId::new(0);
+    const R1: RequestId = RequestId::new(1);
+
+    #[test]
+    fn register_fill_consume_lifecycle() {
+        let pool = unbounded();
+        pool.register(R0).expect("fresh stream");
+        pool.fill(R0, Bits::new(1000.0)).expect("unbounded fill");
+        assert_eq!(pool.data_level(R0), Some(Bits::new(1000.0)));
+        assert_eq!(pool.used(), Bits::new(1000.0));
+        pool.consume(R0, Bits::new(400.0)).expect("enough data");
+        assert_eq!(pool.data_level(R0), Some(Bits::new(600.0)));
+        assert_eq!(pool.used(), Bits::new(600.0));
+        pool.unregister(R0).expect("registered");
+        assert_eq!(pool.used(), Bits::ZERO);
+        assert_eq!(pool.data_level(R0), None);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let pool = unbounded();
+        pool.register(R0).expect("fresh");
+        assert!(pool.register(R0).is_err());
+    }
+
+    #[test]
+    fn operations_on_unknown_stream_fail() {
+        let pool = unbounded();
+        assert_eq!(
+            pool.fill(R0, Bits::new(1.0)),
+            Err(VodError::UnknownRequest(R0))
+        );
+        assert_eq!(
+            pool.consume(R0, Bits::new(1.0)),
+            Err(VodError::UnknownRequest(R0))
+        );
+        assert_eq!(pool.unregister(R0), Err(VodError::UnknownRequest(R0)));
+    }
+
+    #[test]
+    fn underflow_is_reported_and_counted() {
+        let pool = unbounded();
+        pool.register(R0).expect("fresh");
+        pool.fill(R0, Bits::new(100.0)).expect("fill");
+        let err = pool.consume(R0, Bits::new(150.0)).expect_err("underflow");
+        match err {
+            VodError::BufferUnderflow { request, deficit } => {
+                assert_eq!(request, R0);
+                assert_eq!(deficit, Bits::new(50.0));
+            }
+            other => panic!("expected underflow, got {other}"),
+        }
+        assert_eq!(pool.data_level(R0), Some(Bits::ZERO));
+        assert_eq!(pool.stats().underflows, 1);
+    }
+
+    #[test]
+    fn bounded_pool_rejects_over_capacity_fill() {
+        let pool = BufferPool::new(PoolConfig::bounded(Bits::new(1000.0))).expect("valid");
+        pool.register(R0).expect("fresh");
+        pool.fill(R0, Bits::new(800.0)).expect("fits");
+        let err = pool.fill(R0, Bits::new(300.0)).expect_err("over capacity");
+        match err {
+            VodError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, Bits::new(300.0));
+                assert_eq!(available, Bits::new(200.0));
+            }
+            other => panic!("expected OutOfMemory, got {other}"),
+        }
+        // Failed fill must not change state.
+        assert_eq!(pool.data_level(R0), Some(Bits::new(800.0)));
+        assert_eq!(pool.used(), Bits::new(800.0));
+        assert_eq!(pool.free(), Some(Bits::new(200.0)));
+    }
+
+    #[test]
+    fn memory_freed_by_one_stream_is_usable_by_another() {
+        let pool = BufferPool::new(PoolConfig::bounded(Bits::new(1000.0))).expect("valid");
+        pool.register(R0).expect("fresh");
+        pool.register(R1).expect("fresh");
+        pool.fill(R0, Bits::new(900.0)).expect("fits");
+        assert!(pool.fill(R1, Bits::new(200.0)).is_err());
+        pool.consume(R0, Bits::new(500.0)).expect("enough data");
+        pool.fill(R1, Bits::new(200.0))
+            .expect("released memory is shared");
+    }
+
+    #[test]
+    fn page_granularity_rounds_up() {
+        let pool = BufferPool::new(PoolConfig {
+            capacity: None,
+            granularity: Granularity::Pages {
+                page: Bits::new(64.0),
+            },
+        })
+        .expect("valid");
+        pool.register(R0).expect("fresh");
+        pool.fill(R0, Bits::new(100.0)).expect("fill");
+        // 100 bits of data occupy 2 × 64-bit pages.
+        assert_eq!(pool.used(), Bits::new(128.0));
+        pool.consume(R0, Bits::new(40.0)).expect("enough");
+        // 60 bits left -> 1 page.
+        assert_eq!(pool.used(), Bits::new(64.0));
+        pool.consume(R0, Bits::new(60.0)).expect("exact drain");
+        assert_eq!(pool.used(), Bits::ZERO);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let pool = unbounded();
+        pool.register(R0).expect("fresh");
+        pool.fill(R0, Bits::new(500.0)).expect("fill");
+        pool.consume(R0, Bits::new(400.0)).expect("enough");
+        pool.fill(R0, Bits::new(100.0)).expect("fill");
+        let stats = pool.stats();
+        assert_eq!(stats.peak, Bits::new(500.0));
+        assert_eq!(stats.used, Bits::new(200.0));
+        assert_eq!(stats.fills, 2);
+        assert_eq!(stats.streams, 1);
+        pool.reset_peak();
+        assert_eq!(pool.stats().peak, Bits::new(200.0));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(BufferPool::new(PoolConfig::bounded(Bits::ZERO)).is_err());
+        assert!(BufferPool::new(PoolConfig {
+            capacity: None,
+            granularity: Granularity::Pages { page: Bits::ZERO },
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn invalid_amounts_are_rejected() {
+        let pool = unbounded();
+        pool.register(R0).expect("fresh");
+        assert!(pool.fill(R0, Bits::new(-5.0)).is_err());
+        assert!(pool.consume(R0, Bits::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = std::sync::Arc::new(unbounded());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pool = std::sync::Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let r = RequestId::new(t);
+                pool.register(r).expect("distinct ids");
+                for _ in 0..100 {
+                    pool.fill(r, Bits::new(10.0)).expect("unbounded");
+                    pool.consume(r, Bits::new(10.0)).expect("just filled");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(pool.used(), Bits::ZERO);
+        assert_eq!(pool.stats().fills, 400);
+    }
+}

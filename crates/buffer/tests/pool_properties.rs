@@ -1,0 +1,129 @@
+//! Property tests for the buffer pool: accounting conservation across
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use vod_buffer::{BufferPool, Granularity, PoolConfig};
+use vod_types::{Bits, RequestId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(u8),
+    Unregister(u8),
+    Fill(u8, u32),
+    Consume(u8, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::Register),
+        (0u8..8).prop_map(Op::Unregister),
+        ((0u8..8), (0u32..2_000_000)).prop_map(|(id, amt)| Op::Fill(id, amt)),
+        ((0u8..8), (0u32..2_000_000)).prop_map(|(id, amt)| Op::Consume(id, amt)),
+    ]
+}
+
+/// A reference model: per-stream data levels, independently tracked.
+fn run_model(pool: &BufferPool, ops: &[Op], page: Option<f64>) {
+    let mut model: std::collections::HashMap<u8, f64> = std::collections::HashMap::new();
+    let footprint = |data: f64| match page {
+        None => data,
+        Some(p) => {
+            if data == 0.0 {
+                0.0
+            } else {
+                (data / p).ceil() * p
+            }
+        }
+    };
+    let mut max_seen: f64 = 0.0;
+    for op in ops {
+        match *op {
+            Op::Register(id) => {
+                let res = pool.register(RequestId::new(u64::from(id)));
+                if let std::collections::hash_map::Entry::Vacant(e) = model.entry(id) {
+                    assert!(res.is_ok());
+                    e.insert(0.0);
+                } else {
+                    assert!(res.is_err(), "duplicate registration must fail");
+                }
+            }
+            Op::Unregister(id) => {
+                let res = pool.unregister(RequestId::new(u64::from(id)));
+                assert_eq!(res.is_ok(), model.remove(&id).is_some());
+            }
+            Op::Fill(id, amt) => {
+                let res = pool.fill(RequestId::new(u64::from(id)), Bits::new(f64::from(amt)));
+                if let Some(level) = model.get_mut(&id) {
+                    assert!(res.is_ok(), "unbounded fill cannot fail");
+                    *level += f64::from(amt);
+                } else {
+                    assert!(res.is_err(), "fill of unknown stream must fail");
+                }
+            }
+            Op::Consume(id, amt) => {
+                let res = pool.consume(RequestId::new(u64::from(id)), Bits::new(f64::from(amt)));
+                if let Some(level) = model.get_mut(&id) {
+                    if f64::from(amt) <= *level + 1e-9 {
+                        assert!(res.is_ok(), "covered consumption cannot underflow");
+                        *level -= f64::from(amt);
+                    } else {
+                        assert!(res.is_err(), "over-consumption must report underflow");
+                        *level = 0.0;
+                    }
+                } else {
+                    assert!(res.is_err());
+                }
+            }
+        }
+        // Conservation: pool usage equals the model's footprints.
+        let expected: f64 = model.values().map(|&d| footprint(d)).sum();
+        let used = pool.used().as_f64();
+        assert!(
+            (used - expected).abs() < 1e-6 * expected.max(1.0),
+            "pool used {used} != model {expected}"
+        );
+        max_seen = max_seen.max(used);
+        assert!(pool.stats().peak.as_f64() >= max_seen - 1e-6);
+        assert_eq!(pool.stats().streams, model.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn variable_granularity_conserves_accounting(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let pool = BufferPool::new(PoolConfig::unbounded()).expect("valid");
+        run_model(&pool, &ops, None);
+    }
+
+    #[test]
+    fn page_granularity_conserves_accounting(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let page = 4096.0 * 8.0;
+        let pool = BufferPool::new(PoolConfig {
+            capacity: None,
+            granularity: Granularity::Pages { page: Bits::new(page) },
+        })
+        .expect("valid");
+        run_model(&pool, &ops, Some(page));
+    }
+
+    #[test]
+    fn bounded_pool_never_exceeds_capacity(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        cap in 1_000_000u32..10_000_000,
+    ) {
+        let capacity = Bits::new(f64::from(cap));
+        let pool = BufferPool::new(PoolConfig::bounded(capacity)).expect("valid");
+        for op in &ops {
+            match *op {
+                Op::Register(id) => { let _ = pool.register(RequestId::new(u64::from(id))); }
+                Op::Unregister(id) => { let _ = pool.unregister(RequestId::new(u64::from(id))); }
+                Op::Fill(id, amt) => { let _ = pool.fill(RequestId::new(u64::from(id)), Bits::new(f64::from(amt))); }
+                Op::Consume(id, amt) => { let _ = pool.consume(RequestId::new(u64::from(id)), Bits::new(f64::from(amt))); }
+            }
+            prop_assert!(pool.used() <= capacity);
+            prop_assert!(pool.free().expect("bounded") <= capacity);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Theorem 1: the closed-form solution of the buffer-size recurrence.
+//!
+//! For `n < N` the paper solves the recurrence of [`crate::recurrence`] as
+//!
+//! ```text
+//! BS_k(n) = DL·CR·[ (CR/TR)^e · Π_{i=1}^{e−1} n_i · N²·TR/(TR − N·CR)
+//!                 + Σ_{i=0}^{e−2} (CR/TR)^i · Π_{j=1}^{i+1} n_j
+//!                 + (CR/TR)^{e−1} · N · Π_{j=1}^{e−1} n_j ]
+//! ```
+//!
+//! where `n_j = n + j·k + (j−1)·j·α/2` is the predicted load after `j`
+//! usage periods and
+//!
+//! ```text
+//! e = ⌈ ( α/2 − k + √(k² + α·(2·(N−n) − k) + α²/4) ) / α ⌉
+//! ```
+//!
+//! is the number of periods until the predicted load reaches `N` — the
+//! smallest integer with `n_e ≥ N` (the discriminant rewrites to
+//! `(k − α/2)² + 2α(N−n) ≥ 0`, so `e` is always defined).
+//!
+//! For `n = N` the size is the static full-load size (Eq. 11). The
+//! property tests at the bottom verify the closed form against the
+//! recurrence across the entire parameter range.
+
+use vod_types::{Bits, Seconds};
+
+use crate::params::SystemParams;
+
+/// The horizon `e` of Theorem 1: the number of usage periods until the
+/// predicted load `n_j = n + j·k + (j−1)·j·α/2` reaches `N`.
+///
+/// Returns 0 when `n ≥ N` (the recurrence never unrolls).
+#[must_use]
+pub fn horizon(n: usize, k: usize, alpha: u32, big_n: usize) -> usize {
+    if n >= big_n {
+        return 0;
+    }
+    let a = f64::from(alpha.max(1));
+    let kf = k as f64;
+    let gap = (big_n - n) as f64;
+    let disc = kf * kf + a * (2.0 * gap - kf) + a * a / 4.0;
+    // disc = (k − α/2)² + 2α(N − n) ≥ 2α > 0 for n < N.
+    let e = ((a / 2.0 - kf + disc.sqrt()) / a).ceil();
+    // Guard against float error pushing an exact integer over the edge.
+    let mut e = e.max(1.0) as usize;
+    let n_at = |j: usize| n + j * k + (j.saturating_sub(1)) * j * (alpha as usize) / 2;
+    while n_at(e) < big_n {
+        e += 1;
+    }
+    while e > 1 && n_at(e - 1) >= big_n {
+        e -= 1;
+    }
+    e
+}
+
+/// `BS_k(n)` by Theorem 1's closed form, using the configured method's
+/// worst-case `DL` at the current load `n`.
+#[must_use]
+pub fn buffer_size_closed_form(params: &SystemParams, n: usize, k: usize) -> Bits {
+    buffer_size_closed_form_with_dl(params, n, k, params.disk_latency(n))
+}
+
+/// As [`buffer_size_closed_form`] but with an explicit `DL` (Table 2
+/// substitutes a different `DL` per scheduling method).
+#[must_use]
+pub fn buffer_size_closed_form_with_dl(
+    params: &SystemParams,
+    n: usize,
+    k: usize,
+    dl: Seconds,
+) -> Bits {
+    let big_n = params.max_requests();
+    let tr = params.tr().as_f64();
+    let cr = params.cr().as_f64();
+    let dl = dl.as_secs_f64();
+    let nf = big_n as f64;
+
+    if n >= big_n {
+        // Eq. 11: the fully loaded boundary.
+        return Bits::new(dl * nf * cr * tr / (tr - nf * cr));
+    }
+    if n + k == 0 {
+        // Idle system with no predicted arrivals: nothing to buffer.
+        return Bits::ZERO;
+    }
+
+    let alpha = params.alpha as usize;
+    let e = horizon(n, k, params.alpha, big_n);
+    let ratio = cr / tr;
+    // Predicted load after j periods.
+    let n_at = |j: usize| (n + j * k + j.saturating_sub(1) * j * alpha / 2) as f64;
+
+    // Running prefix products Π_{j=1}^{m} n_j, accumulated incrementally.
+    // Middle term: Σ_{i=0}^{e−2} ratio^i · Π_{j=1}^{i+1} n_j.
+    let mut sum = 0.0;
+    let mut prefix = 1.0; // Π_{j=1}^{m} n_j, built up as m grows.
+    let mut ratio_pow = 1.0; // ratio^i
+    for i in 0..e.saturating_sub(1) {
+        prefix *= n_at(i + 1);
+        sum += ratio_pow * prefix;
+        ratio_pow *= ratio;
+    }
+    // After the loop: prefix = Π_{j=1}^{e−1} n_j  (or 1 when e = 1),
+    // ratio_pow = ratio^{e−1}.
+    let prod_e_minus_1 = if e >= 2 { prefix } else { 1.0 };
+    let ratio_e_minus_1 = if e >= 2 { ratio_pow } else { 1.0 };
+
+    let head = ratio_e_minus_1 * ratio * prod_e_minus_1 * nf * nf * tr / (tr - nf * cr);
+    let tail = ratio_e_minus_1 * nf * prod_e_minus_1;
+
+    Bits::new(dl * cr * (head + sum + tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recurrence::buffer_size_recursive_with_dl;
+    use crate::static_scheme::static_buffer_size;
+    use proptest::prelude::*;
+    use vod_sched::SchedulingMethod;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_defaults(SchedulingMethod::RoundRobin)
+    }
+
+    fn relative_error(a: f64, b: f64) -> f64 {
+        if a == 0.0 && b == 0.0 {
+            0.0
+        } else {
+            (a - b).abs() / a.abs().max(b.abs())
+        }
+    }
+
+    #[test]
+    fn horizon_is_minimal_with_n_e_at_least_big_n() {
+        for alpha in 1..=4u32 {
+            for n in 0..79usize {
+                for k in [0usize, 1, 2, 5, 10, 40, 79] {
+                    let e = horizon(n, k, alpha, 79);
+                    let n_at =
+                        |j: usize| n + j * k + j.saturating_sub(1) * j * (alpha as usize) / 2;
+                    assert!(e >= 1);
+                    assert!(
+                        n_at(e) >= 79,
+                        "e={e} too small at (n={n}, k={k}, α={alpha})"
+                    );
+                    if e > 1 {
+                        assert!(
+                            n_at(e - 1) < 79,
+                            "e={e} not minimal at (n={n}, k={k}, α={alpha})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_zero_at_full_load() {
+        assert_eq!(horizon(79, 0, 1, 79), 0);
+        assert_eq!(horizon(100, 3, 1, 79), 0);
+    }
+
+    #[test]
+    fn closed_form_matches_recurrence_exhaustively() {
+        // The heart of the Theorem-1 transcription check: every (n, k)
+        // cell of the precomputation table, α = 1 (the paper's value).
+        let p = params();
+        let dl = p.disk_latency(40);
+        for n in 0..=79usize {
+            for k in 0..=79usize {
+                let cf = buffer_size_closed_form_with_dl(&p, n, k, dl).as_f64();
+                let rec = buffer_size_recursive_with_dl(&p, n, k, dl).as_f64();
+                assert!(
+                    relative_error(cf, rec) < 1e-9,
+                    "mismatch at (n={n}, k={k}): closed {cf}, recurrence {rec}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn closed_form_matches_recurrence_over_alpha(
+            n in 0usize..79,
+            k in 0usize..100,
+            alpha in 1u32..6,
+        ) {
+            let mut p = params();
+            p.alpha = alpha;
+            let dl = p.disk_latency(n.max(1));
+            let cf = buffer_size_closed_form_with_dl(&p, n, k, dl).as_f64();
+            let rec = buffer_size_recursive_with_dl(&p, n, k, dl).as_f64();
+            prop_assert!(
+                relative_error(cf, rec) < 1e-9,
+                "mismatch at (n={}, k={}, α={}): closed {}, recurrence {}",
+                n, k, alpha, cf, rec
+            );
+        }
+
+        #[test]
+        fn closed_form_bounded_by_static_full_size(
+            n in 0usize..=79,
+            k in 0usize..=79,
+        ) {
+            let p = params();
+            let bs = buffer_size_closed_form(&p, n, k).as_f64();
+            let full = static_buffer_size(&p, 79).as_f64();
+            prop_assert!(bs <= full * (1.0 + 1e-12));
+            prop_assert!(bs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn matches_recurrence_for_other_methods() {
+        for m in [SchedulingMethod::Sweep, SchedulingMethod::GSS_PAPER] {
+            let p = SystemParams::paper_defaults(m);
+            for n in [1usize, 7, 33, 60, 78] {
+                for k in [0usize, 1, 4, 12] {
+                    let dl = p.disk_latency(n);
+                    let cf = buffer_size_closed_form_with_dl(&p, n, k, dl).as_f64();
+                    let rec = buffer_size_recursive_with_dl(&p, n, k, dl).as_f64();
+                    assert!(
+                        relative_error(cf, rec) < 1e-9,
+                        "{m}: mismatch at (n={n}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_load_is_static_size() {
+        let p = params();
+        let cf = buffer_size_closed_form(&p, 79, 0);
+        let st = static_buffer_size(&p, 79);
+        assert!(relative_error(cf.as_f64(), st.as_f64()) < 1e-12);
+    }
+
+    #[test]
+    fn fig9_shape_dynamic_well_below_static_at_light_load() {
+        // Fig. 9: with k = 4 (Round-Robin's measured estimate), the dynamic
+        // size at n = 10 is a small fraction of the static 28 MB.
+        let p = params();
+        let dynamic = buffer_size_closed_form(&p, 10, 4);
+        let static_ = static_buffer_size(&p, 79);
+        assert!(dynamic.as_f64() < 0.05 * static_.as_f64());
+    }
+}

@@ -1,0 +1,196 @@
+//! Estimating the number of additional requests (`k_log`, Fig. 5 / Table 1).
+//!
+//! *Additional requests* at a buffer-allocation time are the user requests
+//! that arrive within one service period from that time (Fig. 2). The
+//! dynamic scheme estimates how many to expect from recent history:
+//! `k_log` is the **maximum** number of arrivals observed in any
+//! service-period-long window during the last `T_log` (Table 1), and the
+//! estimate used for sizing is `k_log + α` (clamped by Assumption 2 at the
+//! admission controller).
+//!
+//! §5.1 studies the choice of `T_log` (Fig. 7): the paper settles on
+//! 40 minutes for Round-Robin and 20 minutes for Sweep\*/GSS\*.
+
+use std::collections::VecDeque;
+
+use vod_types::{Instant, Seconds};
+
+/// A sliding log of request arrival times, answering "what is the largest
+/// number of arrivals in any window of length `period` within the last
+/// `T_log`?".
+#[derive(Clone, Debug)]
+pub struct ArrivalLog {
+    t_log: Seconds,
+    arrivals: VecDeque<Instant>,
+}
+
+impl ArrivalLog {
+    /// Creates a log with retention horizon `t_log`.
+    #[must_use]
+    pub fn new(t_log: Seconds) -> Self {
+        ArrivalLog {
+            t_log,
+            arrivals: VecDeque::new(),
+        }
+    }
+
+    /// The retention horizon `T_log`.
+    #[must_use]
+    pub fn t_log(&self) -> Seconds {
+        self.t_log
+    }
+
+    /// Records an arrival. Arrivals must be recorded in nondecreasing
+    /// time order (they come from a single clock); out-of-order records
+    /// are clamped up to maintain the invariant.
+    pub fn record(&mut self, at: Instant) {
+        let at = match self.arrivals.back() {
+            Some(&last) if at < last => last,
+            _ => at,
+        };
+        self.arrivals.push_back(at);
+    }
+
+    /// `k_log`: the maximum number of arrivals in any window of length
+    /// `period` that starts within the retained horizon `[now − T_log,
+    /// now]`. Also prunes entries older than the horizon.
+    ///
+    /// Windows are anchored at arrivals and half-open `[aᵢ, aᵢ + T)`, so
+    /// the anchoring arrival counts itself: the estimate is one higher
+    /// than a strict reading of the paper's `(t, t + T]` definition of
+    /// additional requests. This is deliberate — it errs conservative
+    /// (slightly larger buffers, never smaller), and the workload
+    /// calibration in EXPERIMENTS.md is done with this convention.
+    ///
+    /// Returns 0 when no arrivals are retained or `period` is
+    /// non-positive.
+    pub fn k_log(&mut self, now: Instant, period: Seconds) -> usize {
+        self.prune(now);
+        if self.arrivals.is_empty() || period <= Seconds::ZERO {
+            return 0;
+        }
+        // Max over windows anchored at each retained arrival: the densest
+        // window starts at an arrival. Two-pointer sweep, O(len).
+        let times = self.arrivals.make_contiguous();
+        let mut best = 0usize;
+        let mut j = 0usize;
+        for i in 0..times.len() {
+            if j < i {
+                j = i;
+            }
+            while j < times.len() && times[j] - times[i] < period {
+                j += 1;
+            }
+            best = best.max(j - i);
+        }
+        best
+    }
+
+    /// Number of retained arrivals (after the last prune).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when no arrivals are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    fn prune(&mut self, now: Instant) {
+        let horizon = now - self.t_log;
+        while let Some(&front) = self.arrivals.front() {
+            if front < horizon {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> Instant {
+        Instant::from_secs(secs)
+    }
+
+    fn log_with(arrivals: &[f64], t_log_min: f64) -> ArrivalLog {
+        let mut log = ArrivalLog::new(Seconds::from_minutes(t_log_min));
+        for &a in arrivals {
+            log.record(t(a));
+        }
+        log
+    }
+
+    #[test]
+    fn empty_log_estimates_zero() {
+        let mut log = ArrivalLog::new(Seconds::from_minutes(40.0));
+        assert_eq!(log.k_log(t(100.0), Seconds::from_secs(10.0)), 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn counts_burst_within_one_period() {
+        // 3 arrivals within 5 s, then a lone one much later.
+        let mut log = log_with(&[10.0, 12.0, 14.0, 200.0], 40.0);
+        assert_eq!(log.k_log(t(210.0), Seconds::from_secs(10.0)), 3);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        // Arrivals exactly `period` apart are in different windows.
+        let mut log = log_with(&[0.0, 10.0, 20.0], 40.0);
+        assert_eq!(log.k_log(t(25.0), Seconds::from_secs(10.0)), 1);
+        assert_eq!(log.k_log(t(25.0), Seconds::from_secs(10.1)), 2);
+    }
+
+    #[test]
+    fn prunes_beyond_t_log() {
+        let mut log = log_with(&[0.0, 1.0, 2.0], 1.0); // T_log = 1 min
+                                                       // At t = 100 s, everything is older than 60 s and pruned.
+        assert_eq!(log.k_log(t(100.0), Seconds::from_secs(10.0)), 0);
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn longer_t_log_retains_bigger_bursts() {
+        // A big burst 30 min ago: visible with T_log = 40 min, invisible
+        // with T_log = 10 min. This is the Fig. 7 trade-off.
+        let burst = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let now = t(30.0 * 60.0);
+        let period = Seconds::from_secs(30.0);
+
+        let mut long = log_with(&burst, 40.0);
+        long.record(now - Seconds::from_secs(1.0));
+        assert_eq!(long.k_log(now, period), 5);
+
+        let mut short = log_with(&burst, 10.0);
+        short.record(now - Seconds::from_secs(1.0));
+        assert_eq!(short.k_log(now, period), 1);
+    }
+
+    #[test]
+    fn longer_period_never_decreases_k_log() {
+        let mut log = log_with(&[3.0, 9.0, 14.0, 15.0, 33.0, 50.0], 40.0);
+        let now = t(60.0);
+        let mut prev = 0;
+        for p in 1..=60 {
+            let k = log.k_log(now, Seconds::from_secs(f64::from(p)));
+            assert!(k >= prev, "k_log not monotone in period at {p}s");
+            prev = k;
+        }
+        assert_eq!(prev, 6);
+    }
+
+    #[test]
+    fn out_of_order_records_are_clamped() {
+        let mut log = ArrivalLog::new(Seconds::from_minutes(40.0));
+        log.record(t(10.0));
+        log.record(t(5.0)); // clamped to 10.0
+        assert_eq!(log.k_log(t(11.0), Seconds::from_secs(1.0)), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! # Dynamic buffer allocation for video-on-demand systems
+//!
+//! This crate implements the primary contribution of *Lee, Whang, Moon,
+//! Han, Song — "Dynamic Buffer Allocation in Video-on-Demand Systems"*
+//! (SIGMOD 2001; extended in IEEE TKDE 15(6), 2003), together with the
+//! static baseline it is compared against.
+//!
+//! ## The problem
+//!
+//! A VOD server refills one buffer per active stream, round after round.
+//! A buffer must hold exactly the data its stream consumes until the
+//! server gets back to it — the *usage period*. The classic **static**
+//! scheme sizes every buffer for the fully loaded server
+//! ([`static_scheme::static_buffer_size`], Eq. 5), wasting memory and
+//! inflating initial latency whenever the server is not full.
+//!
+//! Sizing buffers for the *current* load is circular: the usage period of
+//! the buffer being allocated depends on how many buffers — **of what
+//! sizes** — will be serviced before the server returns, and those future
+//! sizes depend on future loads.
+//!
+//! ## The paper's solution
+//!
+//! 1. **Predict** the future load with two *inertia assumptions*
+//!    (§3.1): while this buffer lives, (1) the number of streams serviced
+//!    never exceeds `n_c + k_c`, and (2) the estimate `k` grows by at most
+//!    `α` per usage period.
+//! 2. **Enforce** the assumptions at runtime by deferring any new request
+//!    that would violate them ([`admission::AdmissionController`],
+//!    the algorithm of Fig. 5).
+//! 3. Under the assumptions, the minimum safe size `BS_k(n)` satisfies a
+//!    recurrence ([`recurrence::buffer_size_recursive`]); Theorem 1 solves
+//!    it in closed form ([`closed_form::buffer_size_closed_form`]), which
+//!    [`table::SizeTable`] precomputes in `O(N²)` at startup, as §3.3
+//!    prescribes.
+//!
+//! The minimum memory the server then needs, per scheduling method, is
+//! given by Theorems 2–4 ([`memory`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vod_core::{SystemParams, table::SizeTable};
+//! use vod_sched::SchedulingMethod;
+//!
+//! let params = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+//! assert_eq!(params.max_requests(), 79); // Table 3's N
+//!
+//! let table = SizeTable::build(&params);
+//! // A lightly loaded server allocates a fraction of the static size:
+//! let light = table.size(5, 1);
+//! let full = table.size(79, 0);
+//! assert!(light.as_f64() < 0.1 * full.as_f64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod closed_form;
+pub mod estimator;
+pub mod memory;
+pub mod multirate;
+pub mod params;
+pub mod recurrence;
+pub mod scheme;
+pub mod static_scheme;
+pub mod table;
+
+pub use admission::{AdmissionController, Allocation};
+pub use estimator::ArrivalLog;
+pub use multirate::{MultiRateSystem, RateAdaptation};
+pub use params::SystemParams;
+pub use scheme::SchemeKind;
+pub use table::SizeTable;

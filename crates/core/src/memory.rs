@@ -1,0 +1,309 @@
+//! Minimum memory requirements — Theorems 2, 3, and 4 of the paper.
+//!
+//! The minimum memory to support `n` streams (with `k` estimated
+//! additional requests) is the peak of the total buffer occupancy over a
+//! steady-state service period, under use-it-and-toss-it release. The
+//! paper derives it per scheduling method:
+//!
+//! * **Theorem 2 (Round-Robin / BubbleUp)** — buffers are refilled at
+//!   equal spacings `T/(k+n)`, so their sawtooth occupancies stagger:
+//!   `n·BS − BS·n(n−1)/(2(k+n)) + n·CR·DL`.
+//! * **Theorem 3 (Sweep\*)** — peak when the `(n−1)`-th of `n` buffers is
+//!   allocated.
+//! * **Theorem 4 (GSS\*)** — groups of `g` refill together; the peak
+//!   combines the group sawtooth with the within-group Sweep\* peak. The
+//!   `g ≥ n` case degenerates to Theorem 3 and `g = 1` to Theorem 2.
+//!
+//! Throughout, `T` is the usage period `(k+n)·(BS/TR + DL)`, so
+//! `T/(k+n) = BS/TR + DL` — the service slot of one buffer.
+//!
+//! **Static-scheme memory.** For the baseline we evaluate the same
+//! theorems with `BS := BS(N)` and `k := N − n`: the static scheme's
+//! buffers last the *full-load* period `N·(BS(N)/TR + DL)`, of which the
+//! `n` resident streams occupy `n` service slots — exactly the geometry
+//! the theorems describe at `(n, k) = (n, N − n)`. At `n = N` both schemes
+//! coincide, as the paper requires.
+
+use vod_types::Bits;
+
+use crate::params::SystemParams;
+use crate::static_scheme::static_buffer_size;
+use crate::table::SizeTable;
+
+/// Minimum memory for the **dynamic** scheme at load `(n, k)`, using the
+/// configured scheduling method and `BS = BS_k(n)` from `table`.
+#[must_use]
+pub fn min_memory_dynamic(params: &SystemParams, table: &SizeTable, n: usize, k: usize) -> Bits {
+    let bs = table.size(n, k);
+    min_memory_with(params, bs, n, k)
+}
+
+/// Minimum memory for the **static** scheme at load `n` (see the module
+/// docs for the `k := N − n` substitution).
+#[must_use]
+pub fn min_memory_static(params: &SystemParams, n: usize) -> Bits {
+    let big_n = params.max_requests();
+    let n = n.min(big_n);
+    let bs = static_buffer_size(params, big_n);
+    min_memory_with(params, bs, n, big_n - n)
+}
+
+/// Minimum memory at load `(n, k)` for an arbitrary buffer size `bs`,
+/// dispatching on the configured scheduling method.
+#[must_use]
+pub fn min_memory_with(params: &SystemParams, bs: Bits, n: usize, k: usize) -> Bits {
+    if n == 0 {
+        return Bits::ZERO;
+    }
+    use vod_sched::SchedulingMethod;
+    let cr = params.cr().as_f64();
+    let tr = params.tr().as_f64();
+    let dl = params.disk_latency(n).as_secs_f64();
+    let mem = match params.method {
+        SchedulingMethod::RoundRobin => mem_round_robin(bs.as_f64(), n, k, cr, dl),
+        SchedulingMethod::Sweep => mem_sweep(bs.as_f64(), n, k, cr, tr, dl),
+        SchedulingMethod::Gss { .. } => {
+            let g = params.method.effective_group_size(n);
+            if g >= n {
+                // GSS* with one group services exactly like Sweep*.
+                mem_sweep(bs.as_f64(), n, k, cr, tr, dl)
+            } else if g <= 1 {
+                // ... and with singleton groups, like Round-Robin.
+                mem_round_robin(bs.as_f64(), n, k, cr, dl)
+            } else {
+                mem_gss(bs.as_f64(), n, k, g, cr, tr, dl)
+            }
+        }
+    };
+    Bits::new(mem.max(0.0))
+}
+
+/// Theorem 2: Round-Robin (BubbleUp).
+fn mem_round_robin(bs: f64, n: usize, k: usize, cr: f64, dl: f64) -> f64 {
+    let nf = n as f64;
+    let kn = (k + n) as f64;
+    nf * bs - bs * nf * (nf - 1.0) / (2.0 * kn) + nf * cr * dl
+}
+
+/// Theorem 3: Sweep\*.
+fn mem_sweep(bs: f64, n: usize, k: usize, cr: f64, tr: f64, dl: f64) -> f64 {
+    let _ = k; // The slot length T/(k+n) = BS/TR + DL is k-free.
+    let slot = bs / tr + dl;
+    if n > 1 {
+        let nf = n as f64;
+        (nf - 1.0) * bs + (nf * slot - (nf - 2.0) * bs / tr) * cr * nf
+    } else {
+        bs + slot * cr
+    }
+}
+
+/// Theorem 4: GSS\* with `1 < g < n`.
+fn mem_gss(bs: f64, n: usize, k: usize, g: usize, cr: f64, tr: f64, dl: f64) -> f64 {
+    let _ = k; // As in Theorem 3: every T appears divided by (k+n).
+    let slot = bs / tr + dl; // T/(k+n)
+    let gf = g as f64;
+    let nf = n as f64;
+    let full_groups = n / g;
+    let g_prime = n - full_groups * g;
+    let big_g = n.div_ceil(g);
+    let big_gf = big_g as f64;
+
+    if g_prime == 0 {
+        // G = n/g exactly.
+        let per_group = gf * bs
+            - (nf * slot + (gf - 2.0) * bs / tr - gf * slot * (big_gf + 2.0) / 2.0) * cr * gf;
+        (big_gf - 1.0) * per_group + (gf - 1.0) * bs + (gf * slot - (gf - 2.0) * bs / tr) * cr * gf
+    } else {
+        // G = ⌈n/g⌉ with a short last group of g' buffers.
+        let gpf = g_prime as f64;
+        let per_group = gf * bs
+            - (nf * slot + (gf - 2.0) * bs / tr - gf * slot * (big_gf + 1.0) / 2.0) * cr * gf;
+        (big_gf - 2.0) * per_group
+            + bs * (gf + gpf - 1.0)
+            + cr * ((gf * slot - (gf - 2.0) * bs / tr) * gf - (gf - 2.0) * gpf * bs / tr)
+    }
+}
+
+/// The GSS group size `g` minimizing full-load memory for `params`' disk
+/// and consumption rate — how the paper (after Yu et al. and Chang &
+/// Garcia-Molina) picks `g = 8` for the Barracuda 9LP (§5.1).
+///
+/// Scans `g ∈ [1, N]`, evaluating the static full-load buffer size under
+/// `DL = γ(Cyln/g) + θ` and the matching memory theorem.
+#[must_use]
+pub fn optimal_gss_group_size(params: &SystemParams) -> usize {
+    use vod_sched::SchedulingMethod;
+    let big_n = params.max_requests();
+    let mut best = (1usize, f64::INFINITY);
+    for g in 1..=big_n.max(1) {
+        let mut p = params.clone();
+        p.method = SchedulingMethod::Gss { group_size: g };
+        let bs = static_buffer_size(&p, big_n);
+        let mem = min_memory_with(&p, bs, big_n, 0).as_f64();
+        if mem < best.1 {
+            best = (g, mem);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sched::SchedulingMethod;
+
+    fn params(m: SchedulingMethod) -> SystemParams {
+        SystemParams::paper_defaults(m)
+    }
+
+    fn table(m: SchedulingMethod) -> (SystemParams, SizeTable) {
+        let p = params(m);
+        let t = SizeTable::build(&p);
+        (p, t)
+    }
+
+    #[test]
+    fn zero_streams_need_no_memory() {
+        for m in SchedulingMethod::paper_methods() {
+            let (p, t) = table(m);
+            assert_eq!(min_memory_dynamic(&p, &t, 0, 3), Bits::ZERO);
+            assert_eq!(min_memory_static(&p, 0), Bits::ZERO);
+        }
+    }
+
+    #[test]
+    fn theorem2_matches_hand_computation() {
+        let (p, t) = table(SchedulingMethod::RoundRobin);
+        let n = 10;
+        let k = 4;
+        let bs = t.size(n, k).as_f64();
+        let dl = p.disk_latency(n).as_secs_f64();
+        let expected = 10.0 * bs - bs * 10.0 * 9.0 / (2.0 * 14.0) + 10.0 * 1.5e6 * dl;
+        let got = min_memory_dynamic(&p, &t, n, k).as_f64();
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn theorem3_matches_hand_computation() {
+        let (p, t) = table(SchedulingMethod::Sweep);
+        let n = 10;
+        let k = 3;
+        let bs = t.size(n, k).as_f64();
+        let dl = p.disk_latency(n).as_secs_f64();
+        let slot = bs / 120.0e6 + dl;
+        let expected = 9.0 * bs + (10.0 * slot - 8.0 * bs / 120.0e6) * 1.5e6 * 10.0;
+        let got = min_memory_dynamic(&p, &t, n, k).as_f64();
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn theorem3_single_stream_case() {
+        let (p, t) = table(SchedulingMethod::Sweep);
+        let bs = t.size(1, 3).as_f64();
+        let dl = p.disk_latency(1).as_secs_f64();
+        let expected = bs + (bs / 120.0e6 + dl) * 1.5e6;
+        let got = min_memory_dynamic(&p, &t, 1, 3).as_f64();
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn theorem4_divisible_and_ragged_cases_are_continuous() {
+        // Memory as a function of n should not jump wildly when n crosses
+        // a group boundary (16 -> 17 with g = 8).
+        let (p, t) = table(SchedulingMethod::GSS_PAPER);
+        let m16 = min_memory_dynamic(&p, &t, 16, 3).as_f64();
+        let m17 = min_memory_dynamic(&p, &t, 17, 3).as_f64();
+        let m24 = min_memory_dynamic(&p, &t, 24, 3).as_f64();
+        assert!(m16 > 0.0 && m17 > 0.0 && m24 > 0.0);
+        assert!(
+            m17 > m16 * 0.8 && m17 < m24 * 1.2,
+            "m16={m16} m17={m17} m24={m24}"
+        );
+    }
+
+    #[test]
+    fn dynamic_memory_is_below_static_memory_at_partial_load() {
+        // The headline of Fig. 12.
+        for m in SchedulingMethod::paper_methods() {
+            let (p, t) = table(m);
+            let k = 4;
+            for n in [1usize, 10, 30, 50, 70] {
+                let dynamic = min_memory_dynamic(&p, &t, n, k).as_f64();
+                let static_ = min_memory_static(&p, n).as_f64();
+                assert!(
+                    dynamic < static_,
+                    "{m} at n={n}: dynamic {dynamic} >= static {static_}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schemes_coincide_at_full_load() {
+        for m in SchedulingMethod::paper_methods() {
+            let (p, t) = table(m);
+            let dynamic = min_memory_dynamic(&p, &t, 79, 0).as_f64();
+            let static_ = min_memory_static(&p, 79).as_f64();
+            assert!(
+                (dynamic - static_).abs() / static_ < 1e-9,
+                "{m}: dynamic {dynamic} vs static {static_}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_n() {
+        for m in SchedulingMethod::paper_methods() {
+            let (p, t) = table(m);
+            let mut prev = 0.0;
+            for n in 1..=79 {
+                let mem = min_memory_dynamic(&p, &t, n, 2).as_f64();
+                assert!(mem > prev * 0.95, "{m}: dip at n={n}");
+                prev = mem;
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_full_buffers_plus_latency_slack() {
+        // No scheme can *need* more than n full buffers plus n·CR·DL.
+        for m in SchedulingMethod::paper_methods() {
+            let (p, t) = table(m);
+            for n in [1usize, 8, 16, 33, 79] {
+                for k in [0usize, 3, 10] {
+                    let bs = t.size(n, k).as_f64();
+                    let dl = p.disk_latency(n).as_secs_f64();
+                    let slot = bs / 120.0e6 + dl;
+                    // n full buffers, plus consumption over up to n service
+                    // slots for each of the n streams, plus latency slack.
+                    let bound = (n as f64) * bs
+                        + (n as f64) * (n as f64) * slot * 1.5e6
+                        + (n as f64) * 1.5e6 * dl * 2.0;
+                    let mem = min_memory_dynamic(&p, &t, n, k).as_f64();
+                    assert!(mem <= bound * 1.01, "{m} (n={n},k={k}): {mem} > {bound}");
+                    assert!(mem > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_needs_less_memory_than_round_robin_at_full_load() {
+        // Smaller DL -> smaller buffers -> less memory (Fig. 12a vs 12b).
+        let (pr, tr_) = table(SchedulingMethod::RoundRobin);
+        let (ps, ts) = table(SchedulingMethod::Sweep);
+        let rr = min_memory_dynamic(&pr, &tr_, 79, 0).as_f64();
+        let sw = min_memory_dynamic(&ps, &ts, 79, 0).as_f64();
+        assert!(sw < rr);
+    }
+
+    #[test]
+    fn optimal_group_size_is_moderate() {
+        // §5.1: memory is minimized around g = 8 for the Barracuda 9LP.
+        // Our substituted cylinder count shifts the optimum slightly at
+        // most; accept a small band around the paper's value.
+        let p = params(SchedulingMethod::GSS_PAPER);
+        let g = optimal_gss_group_size(&p);
+        assert!((4..=14).contains(&g), "optimal g = {g}");
+    }
+}

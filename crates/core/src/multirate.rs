@@ -1,0 +1,312 @@
+//! Heterogeneous display rates — the adaptation of footnote 2.
+//!
+//! The paper's analysis assumes every stream consumes at the same `CR`,
+//! and (after Chang & Garcia-Molina) offers two adaptations for mixed
+//! rates:
+//!
+//! 1. **Maximal rate**: run the whole system at `CR = max_i(CR_i)`. Every
+//!    stream occupies one slot sized for the fastest rate — simple, but
+//!    slow streams waste buffer and disk bandwidth.
+//! 2. **Unit rate**: let the unit rate `u = gcd_i(CR_i)` and treat a
+//!    stream of rate `m·u` as `m` *virtual unit-rate streams*: it counts
+//!    `m` toward the admission bound and receives an `m×`-sized buffer.
+//!
+//! [`MultiRateSystem`] implements both behind one interface; its
+//! accounting composes with the ordinary [`SizeTable`] and
+//! [`AdmissionController`](crate::AdmissionController) (admit a rate-`m`
+//! stream by admitting `m` virtual streams).
+
+use vod_disk::DiskProfile;
+use vod_sched::SchedulingMethod;
+use vod_types::{BitRate, Bits, ConfigError};
+
+use crate::params::SystemParams;
+use crate::table::SizeTable;
+
+/// Which footnote-2 adaptation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateAdaptation {
+    /// Size everything for the maximum rate; every stream is one slot.
+    MaximalRate,
+    /// Size for the GCD unit rate; a stream of rate `m·u` is `m` slots.
+    UnitRate,
+}
+
+/// A VOD system serving a fixed palette of display rates.
+#[derive(Clone, Debug)]
+pub struct MultiRateSystem {
+    params: SystemParams,
+    strategy: RateAdaptation,
+    unit: BitRate,
+}
+
+/// Greatest common divisor of the rates, at 1 bit/s resolution.
+///
+/// Returns `None` for an empty palette or non-positive rates.
+#[must_use]
+pub fn gcd_rate(rates: &[BitRate]) -> Option<BitRate> {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let mut acc: u64 = 0;
+    for r in rates {
+        if !r.is_valid_rate() {
+            return None;
+        }
+        let bits = r.as_f64().round() as u64;
+        if bits == 0 {
+            return None;
+        }
+        acc = gcd(acc, bits);
+    }
+    if acc == 0 {
+        None
+    } else {
+        Some(BitRate::new(acc as f64))
+    }
+}
+
+impl MultiRateSystem {
+    /// Builds a system for the given rate palette.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the palette is empty, a rate is
+    /// non-positive, or the derived base system is infeasible (e.g. the
+    /// maximal rate exceeds what the disk sustains).
+    pub fn new(
+        disk: DiskProfile,
+        method: SchedulingMethod,
+        alpha: u32,
+        rates: &[BitRate],
+        strategy: RateAdaptation,
+    ) -> Result<Self, ConfigError> {
+        if rates.is_empty() {
+            return Err(ConfigError::new("rates", "palette must not be empty"));
+        }
+        let unit = match strategy {
+            RateAdaptation::MaximalRate => rates.iter().copied().max().expect("non-empty palette"),
+            RateAdaptation::UnitRate => gcd_rate(rates)
+                .ok_or_else(|| ConfigError::new("rates", "rates must be positive"))?,
+        };
+        let params = SystemParams {
+            disk,
+            consumption_rate: unit,
+            method,
+            alpha,
+        };
+        params.validate()?;
+        Ok(MultiRateSystem {
+            params,
+            strategy,
+            unit,
+        })
+    }
+
+    /// The underlying single-rate system every formula runs on.
+    #[must_use]
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// The adaptation in use.
+    #[must_use]
+    pub fn strategy(&self) -> RateAdaptation {
+        self.strategy
+    }
+
+    /// The base rate (maximal rate or the GCD unit).
+    #[must_use]
+    pub fn base_rate(&self) -> BitRate {
+        self.unit
+    }
+
+    /// How many virtual unit-rate streams a request at `rate` occupies.
+    ///
+    /// # Errors
+    ///
+    /// Under [`RateAdaptation::UnitRate`], the rate must be a (near-)
+    /// integer multiple of the unit; under [`RateAdaptation::MaximalRate`]
+    /// it must not exceed the maximal rate.
+    pub fn virtual_streams(&self, rate: BitRate) -> Result<usize, ConfigError> {
+        if !rate.is_valid_rate() {
+            return Err(ConfigError::new("rate", "must be positive"));
+        }
+        match self.strategy {
+            RateAdaptation::MaximalRate => {
+                if rate > self.unit {
+                    return Err(ConfigError::new(
+                        "rate",
+                        format!("{rate} exceeds the maximal palette rate {}", self.unit),
+                    ));
+                }
+                Ok(1)
+            }
+            RateAdaptation::UnitRate => {
+                let m = rate / self.unit;
+                let rounded = m.round();
+                if (m - rounded).abs() > 1e-6 || rounded < 1.0 {
+                    return Err(ConfigError::new(
+                        "rate",
+                        format!("{rate} is not a multiple of the unit rate {}", self.unit),
+                    ));
+                }
+                Ok(rounded as usize)
+            }
+        }
+    }
+
+    /// Maximum *physical* streams of `rate` the disk can carry alone:
+    /// `⌊N_virtual / m⌋`.
+    pub fn max_requests_at(&self, rate: BitRate) -> Result<usize, ConfigError> {
+        let m = self.virtual_streams(rate)?;
+        Ok(self.params.max_requests() / m)
+    }
+
+    /// The buffer for a rate-`rate` stream when `n_virtual` unit streams
+    /// are in service with `k_virtual` estimated additional: `m` unit
+    /// buffers (unit-rate strategy) or one max-rate buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiRateSystem::virtual_streams`].
+    pub fn buffer_size(
+        &self,
+        table: &SizeTable,
+        n_virtual: usize,
+        k_virtual: usize,
+        rate: BitRate,
+    ) -> Result<Bits, ConfigError> {
+        let m = self.virtual_streams(rate)?;
+        Ok(table.size(n_virtual, k_virtual) * m as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> Vec<BitRate> {
+        vec![
+            BitRate::from_mbps(1.5),
+            BitRate::from_mbps(3.0),
+            BitRate::from_mbps(6.0),
+        ]
+    }
+
+    fn unit_system() -> MultiRateSystem {
+        MultiRateSystem::new(
+            DiskProfile::barracuda_9lp(),
+            SchedulingMethod::RoundRobin,
+            1,
+            &rates(),
+            RateAdaptation::UnitRate,
+        )
+        .expect("feasible palette")
+    }
+
+    #[test]
+    fn gcd_of_mpeg_palette_is_the_base_rate() {
+        let g = gcd_rate(&rates()).expect("positive rates");
+        assert!((g.as_mbps() - 1.5).abs() < 1e-9);
+        // Relatively prime palette degenerates to small units but works.
+        let g2 = gcd_rate(&[BitRate::new(4.0), BitRate::new(6.0)]).expect("positive");
+        assert_eq!(g2.as_f64(), 2.0);
+        assert!(gcd_rate(&[]).is_none());
+        assert!(gcd_rate(&[BitRate::ZERO]).is_none());
+    }
+
+    #[test]
+    fn unit_rate_multiplicities() {
+        let sys = unit_system();
+        assert!((sys.base_rate().as_mbps() - 1.5).abs() < 1e-9);
+        assert_eq!(sys.virtual_streams(BitRate::from_mbps(1.5)).expect("ok"), 1);
+        assert_eq!(sys.virtual_streams(BitRate::from_mbps(3.0)).expect("ok"), 2);
+        assert_eq!(sys.virtual_streams(BitRate::from_mbps(6.0)).expect("ok"), 4);
+        assert!(sys.virtual_streams(BitRate::from_mbps(2.0)).is_err());
+        // Unit system keeps the full N = 79 virtual slots.
+        assert_eq!(sys.params().max_requests(), 79);
+        assert_eq!(
+            sys.max_requests_at(BitRate::from_mbps(6.0)).expect("ok"),
+            19
+        );
+    }
+
+    #[test]
+    fn maximal_rate_strategy() {
+        let sys = MultiRateSystem::new(
+            DiskProfile::barracuda_9lp(),
+            SchedulingMethod::RoundRobin,
+            1,
+            &rates(),
+            RateAdaptation::MaximalRate,
+        )
+        .expect("feasible");
+        assert!((sys.base_rate().as_mbps() - 6.0).abs() < 1e-9);
+        // Everyone is one slot; the disk fits fewer, fatter streams.
+        assert_eq!(sys.virtual_streams(BitRate::from_mbps(1.5)).expect("ok"), 1);
+        assert_eq!(sys.params().max_requests(), 19); // 120/6 = 20, strict
+        assert!(sys.virtual_streams(BitRate::from_mbps(8.0)).is_err());
+    }
+
+    #[test]
+    fn unit_rate_buffers_scale_with_multiplicity() {
+        let sys = unit_system();
+        let table = SizeTable::build(sys.params());
+        let one = sys
+            .buffer_size(&table, 10, 2, BitRate::from_mbps(1.5))
+            .expect("ok");
+        let four = sys
+            .buffer_size(&table, 10, 2, BitRate::from_mbps(6.0))
+            .expect("ok");
+        assert!((four.as_f64() - 4.0 * one.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_palettes_are_rejected() {
+        // A maximal rate beyond the disk's transfer rate cannot stream.
+        let res = MultiRateSystem::new(
+            DiskProfile::barracuda_9lp(),
+            SchedulingMethod::RoundRobin,
+            1,
+            &[BitRate::from_mbps(150.0)],
+            RateAdaptation::MaximalRate,
+        );
+        assert!(res.is_err());
+        let res = MultiRateSystem::new(
+            DiskProfile::barracuda_9lp(),
+            SchedulingMethod::RoundRobin,
+            1,
+            &[],
+            RateAdaptation::UnitRate,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn unit_strategy_outperforms_maximal_for_mixed_populations() {
+        // A mostly-slow population: unit-rate admits far more physical
+        // streams than sizing everyone for 6 Mbps.
+        let unit = unit_system();
+        let maximal = MultiRateSystem::new(
+            DiskProfile::barracuda_9lp(),
+            SchedulingMethod::RoundRobin,
+            1,
+            &rates(),
+            RateAdaptation::MaximalRate,
+        )
+        .expect("feasible");
+        let slow = BitRate::from_mbps(1.5);
+        assert!(
+            unit.max_requests_at(slow).expect("ok")
+                > 3 * maximal.max_requests_at(slow).expect("ok"),
+            "unit {} vs maximal {}",
+            unit.max_requests_at(slow).expect("ok"),
+            maximal.max_requests_at(slow).expect("ok")
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! System-wide parameters shared by every formula in the paper.
+
+use vod_disk::DiskProfile;
+use vod_sched::SchedulingMethod;
+use vod_types::{BitRate, ConfigError, Seconds};
+
+/// The constants of Table 1 bound to concrete values: the disk, the stream
+/// consumption rate `CR`, the scheduling method (which fixes `DL`), and
+/// the inertia slack `α`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemParams {
+    /// The disk servicing the streams.
+    pub disk: DiskProfile,
+    /// Per-stream consumption rate `CR`.
+    pub consumption_rate: BitRate,
+    /// The buffer scheduling method in use.
+    pub method: SchedulingMethod,
+    /// Assumption 2's slack `α ≥ 1`: how much the estimate of additional
+    /// requests may grow per usage period. The paper uses 1 (§3.1): VOD
+    /// service periods are short, so arrival rates rarely jump within one.
+    pub alpha: u32,
+}
+
+impl SystemParams {
+    /// The paper's evaluation environment (§5.1): a Seagate Barracuda 9LP
+    /// serving 1.5 Mbps MPEG-1 streams, `α = 1`.
+    #[must_use]
+    pub fn paper_defaults(method: SchedulingMethod) -> Self {
+        SystemParams {
+            disk: DiskProfile::barracuda_9lp(),
+            consumption_rate: BitRate::from_mbps(1.5),
+            method,
+            alpha: 1,
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the disk or method is invalid,
+    /// `CR` is non-positive, `TR ≤ CR` (the disk cannot sustain even one
+    /// stream), or `α = 0` (footnote 5 of the paper: with `α = 0` and
+    /// `k_c = 0` the system could never admit anything).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.disk.validate()?;
+        self.method.validate()?;
+        if !self.consumption_rate.is_valid_rate() {
+            return Err(ConfigError::new("consumption_rate", "must be positive"));
+        }
+        if self.max_requests() == 0 {
+            return Err(ConfigError::new(
+                "consumption_rate",
+                format!(
+                    "TR = {} cannot sustain a single stream at CR = {}",
+                    self.disk.transfer_rate, self.consumption_rate
+                ),
+            ));
+        }
+        if self.alpha == 0 {
+            return Err(ConfigError::new(
+                "alpha",
+                "must be at least 1 (with α = 0 an idle system can never admit a request)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The maximum number `N` of concurrent streams (Eq. 1).
+    #[must_use]
+    pub fn max_requests(&self) -> usize {
+        self.disk.max_concurrent_requests(self.consumption_rate)
+    }
+
+    /// Worst-case per-buffer disk latency `DL` of the configured method at
+    /// load `n` (§2.2).
+    #[must_use]
+    pub fn disk_latency(&self, n: usize) -> Seconds {
+        self.method.worst_disk_latency(&self.disk, n)
+    }
+
+    /// Shorthand for the disk transfer rate `TR`.
+    #[must_use]
+    pub fn tr(&self) -> BitRate {
+        self.disk.transfer_rate
+    }
+
+    /// Shorthand for the consumption rate `CR`.
+    #[must_use]
+    pub fn cr(&self) -> BitRate {
+        self.consumption_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid_for_all_methods() {
+        for m in SchedulingMethod::paper_methods() {
+            let p = SystemParams::paper_defaults(m);
+            p.validate().expect("paper environment is feasible");
+            assert_eq!(p.max_requests(), 79);
+        }
+    }
+
+    #[test]
+    fn rejects_alpha_zero() {
+        let mut p = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        p.alpha = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unsustainable_consumption_rate() {
+        let mut p = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        p.consumption_rate = BitRate::from_mbps(120.0);
+        assert!(p.validate().is_err());
+        p.consumption_rate = BitRate::ZERO;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn disk_latency_delegates_to_method() {
+        let p = SystemParams::paper_defaults(SchedulingMethod::Sweep);
+        assert_eq!(
+            p.disk_latency(10),
+            SchedulingMethod::Sweep.worst_disk_latency(&p.disk, 10)
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The buffer-size recurrence (Eqs. 8–10) — the reference implementation.
+//!
+//! The dynamic scheme sizes the buffer allocated at load `(n, k)` so that
+//! it outlives the servicing of the `n + k` buffers of the *next*
+//! generation, whose sizes are in turn `BS_{k+α}(n+k)`:
+//!
+//! ```text
+//! BS_k(n) = (n + k) · CR · ( BS_{k+α}(n + k) / TR + DL )
+//! ```
+//!
+//! with two boundary rules derived from the paper's proof of Theorem 1:
+//!
+//! * the number of buffers serviced within a usage period never exceeds
+//!   `N`, so the argument `n + k` is capped at `N` (the step from Eq. 12
+//!   to Eq. 13), and
+//! * at `n = N` the system is fully loaded and no new requests can be
+//!   admitted, so the size is the static full-load size (Eq. 11):
+//!   `BS(N) = DL·N·CR·TR / (TR − N·CR)`.
+//!
+//! This direct recursion is kept as an *executable specification*: the
+//! closed form of Theorem 1 ([`crate::closed_form`]) is property-tested
+//! against it over the whole `(n, k, α)` range, which validates our
+//! transcription of the paper's most intricate equation.
+
+use vod_types::{Bits, Seconds};
+
+use crate::params::SystemParams;
+
+/// Evaluates `BS_k(n)` by unrolling the recurrence.
+///
+/// `DL` is held constant across the recursion at the *current* load's
+/// value, exactly as Theorem 1's derivation treats it (the paper then
+/// substitutes each scheduling method's `DL` into the solved form,
+/// Table 2).
+///
+/// Termination: each step increases the argument sequence
+/// `n_{j+1} = n_j + k_j`, `k_{j+1} = k_j + α`, and `α ≥ 1` forces
+/// `n_j ≥ j(j−1)/2`, so the cap `N` is reached after at most
+/// `O(√N)` steps — the same `e` that Theorem 1 computes.
+#[must_use]
+pub fn buffer_size_recursive(params: &SystemParams, n: usize, k: usize) -> Bits {
+    let dl = params.disk_latency(n);
+    buffer_size_recursive_with_dl(params, n, k, dl)
+}
+
+/// As [`buffer_size_recursive`] but with an explicit `DL`, so callers
+/// (and the closed form's property tests) can pin the latency constant.
+#[must_use]
+pub fn buffer_size_recursive_with_dl(
+    params: &SystemParams,
+    n: usize,
+    k: usize,
+    dl: Seconds,
+) -> Bits {
+    let big_n = params.max_requests();
+    let tr = params.tr().as_f64();
+    let cr = params.cr().as_f64();
+    let dl = dl.as_secs_f64();
+    let alpha = params.alpha as usize;
+
+    // Full-load boundary (Eq. 11).
+    let nf = big_n as f64;
+    let bs_full = dl * nf * cr * tr / (tr - nf * cr);
+
+    #[allow(clippy::too_many_arguments)] // explicit recursion state
+    fn go(
+        n: usize,
+        k: usize,
+        big_n: usize,
+        alpha: usize,
+        tr: f64,
+        cr: f64,
+        dl: f64,
+        bs_full: f64,
+    ) -> f64 {
+        if n >= big_n {
+            return bs_full;
+        }
+        let m = (n + k).min(big_n);
+        if m == 0 {
+            // No streams in service and none predicted: nothing to buffer.
+            return 0.0;
+        }
+        let next = go(m, k + alpha, big_n, alpha, tr, cr, dl, bs_full);
+        (m as f64) * cr * (next / tr + dl)
+    }
+
+    Bits::new(go(n, k, big_n, alpha, tr, cr, dl, bs_full))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_scheme::static_buffer_size;
+    use vod_sched::SchedulingMethod;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_defaults(SchedulingMethod::RoundRobin)
+    }
+
+    #[test]
+    fn full_load_equals_static_size() {
+        let p = params();
+        let dynamic = buffer_size_recursive(&p, 79, 0);
+        let static_ = static_buffer_size(&p, 79);
+        assert!((dynamic.as_f64() - static_.as_f64()).abs() / static_.as_f64() < 1e-12);
+    }
+
+    #[test]
+    fn n_plus_k_at_capacity_equals_static_size() {
+        // If n + k already reaches N, the very first step hits the
+        // boundary: the allocated size is the full-load size.
+        let p = params();
+        let bs = buffer_size_recursive(&p, 40, 39);
+        let static_ = static_buffer_size(&p, 79);
+        assert!((bs.as_f64() - static_.as_f64()).abs() / static_.as_f64() < 1e-12);
+    }
+
+    #[test]
+    fn empty_idle_system_needs_no_buffer() {
+        let p = params();
+        assert_eq!(buffer_size_recursive(&p, 0, 0), Bits::ZERO);
+    }
+
+    #[test]
+    fn partially_loaded_buffers_are_much_smaller() {
+        let p = params();
+        let light = buffer_size_recursive(&p, 5, 1);
+        let full = buffer_size_recursive(&p, 79, 0);
+        assert!(light.as_f64() > 0.0);
+        assert!(
+            light.as_f64() < 0.05 * full.as_f64(),
+            "light {light}, full {full}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_n_and_k() {
+        let p = params();
+        for k in [0usize, 1, 3, 7] {
+            let mut prev = Bits::ZERO;
+            for n in 0..=79 {
+                let bs = buffer_size_recursive(&p, n, k);
+                assert!(bs >= prev, "not monotone in n at (n={n}, k={k})");
+                prev = bs;
+            }
+        }
+        for n in [1usize, 10, 40, 78] {
+            let mut prev = Bits::ZERO;
+            for k in 0..=20 {
+                let bs = buffer_size_recursive(&p, n, k);
+                assert!(bs >= prev, "not monotone in k at (n={n}, k={k})");
+                prev = bs;
+            }
+        }
+    }
+
+    #[test]
+    fn never_exceeds_full_load_size() {
+        let p = params();
+        let full = buffer_size_recursive(&p, 79, 0);
+        for n in 0..=79 {
+            for k in 0..=79 {
+                let bs = buffer_size_recursive(&p, n, k);
+                assert!(
+                    bs.as_f64() <= full.as_f64() * (1.0 + 1e-12),
+                    "BS_{k}({n}) = {bs} exceeds BS(N) = {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_alpha_gives_larger_buffers() {
+        // §3.1: larger α adapts faster but allocates more memory.
+        let mut p1 = params();
+        p1.alpha = 1;
+        let mut p3 = params();
+        p3.alpha = 3;
+        let b1 = buffer_size_recursive(&p1, 20, 2);
+        let b3 = buffer_size_recursive(&p3, 20, 2);
+        assert!(b3 > b1, "alpha=1: {b1}, alpha=3: {b3}");
+    }
+
+    #[test]
+    fn one_step_expansion_matches_by_hand() {
+        // BS_k(n) = (n+k)·CR·(BS_{k+1}(n+k)/TR + DL), checked manually for
+        // one interior point.
+        let p = params();
+        let n = 30;
+        let k = 4;
+        let dl = p.disk_latency(n).as_secs_f64();
+        let inner = buffer_size_recursive_with_dl(&p, 34, 5, p.disk_latency(n)).as_f64();
+        let expected = 34.0 * 1.5e6 * (inner / 120.0e6 + dl);
+        let got = buffer_size_recursive(&p, n, k).as_f64();
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+}

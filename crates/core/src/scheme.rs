@@ -1,0 +1,224 @@
+//! Buffer allocation schemes: the paper's dynamic scheme and its
+//! baselines, behind one sizing interface.
+
+use core::fmt;
+
+use vod_types::{Bits, ConfigError};
+
+use crate::params::SystemParams;
+use crate::static_scheme::{static_allocated_size, static_buffer_size};
+use crate::table::SizeTable;
+
+/// Which buffer allocation scheme a server runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// The static scheme (§2.3): every buffer is `BS(N)`.
+    Static,
+    /// A To & Hamidzadeh-style variant of the static scheme: buffers
+    /// start at `BS(N)` and the server *additionally* hands unused pool
+    /// memory to in-service streams, extending their refill deadlines.
+    /// Sizing is identical to [`SchemeKind::Static`]; the top-up happens
+    /// in the server/simulator, which knows the pool. Kept as the
+    /// related-work baseline the paper discusses in §1.
+    StaticMaxUse,
+    /// The *naive* dynamic scheme of Fig. 3: apply the current estimate to
+    /// the static formula, `BS(n + k)` by Eq. 5. Demonstrably unsafe —
+    /// buffers underflow when future buffers grow — and kept precisely to
+    /// demonstrate that (see the simulator's ablation).
+    NaiveDynamic,
+    /// The paper's dynamic scheme: `BS_k(n)` by Theorem 1, enforced by
+    /// predict-and-enforce admission control.
+    Dynamic,
+}
+
+impl SchemeKind {
+    /// All schemes, baselines first.
+    pub const ALL: [SchemeKind; 4] = [
+        SchemeKind::Static,
+        SchemeKind::StaticMaxUse,
+        SchemeKind::NaiveDynamic,
+        SchemeKind::Dynamic,
+    ];
+
+    /// Short label for tables and CSV headers.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::Static => "static",
+            SchemeKind::StaticMaxUse => "static-maxuse",
+            SchemeKind::NaiveDynamic => "naive-dynamic",
+            SchemeKind::Dynamic => "dynamic",
+        }
+    }
+
+    /// True for the schemes that size buffers from the current load.
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, SchemeKind::NaiveDynamic | SchemeKind::Dynamic)
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A scheme bound to concrete parameters: answers "what size buffer do I
+/// allocate at load `(n, k)`?" in O(1).
+#[derive(Clone, Debug)]
+pub struct Sizer {
+    kind: SchemeKind,
+    static_size: Bits,
+    /// Eq. 5 evaluated at every `n` (for the naive scheme).
+    naive_sizes: Vec<Bits>,
+    /// Theorem 1's table (for the dynamic scheme).
+    table: Option<SizeTable>,
+    big_n: usize,
+}
+
+impl Sizer {
+    /// Builds the sizer, precomputing whatever the scheme needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn new(kind: SchemeKind, params: &SystemParams) -> Result<Self, ConfigError> {
+        params.validate()?;
+        let big_n = params.max_requests();
+        let table = match kind {
+            SchemeKind::Dynamic => Some(SizeTable::build(params)),
+            _ => None,
+        };
+        let naive_sizes = match kind {
+            SchemeKind::NaiveDynamic => {
+                (0..=big_n).map(|n| static_buffer_size(params, n)).collect()
+            }
+            _ => Vec::new(),
+        };
+        Ok(Sizer {
+            kind,
+            static_size: static_allocated_size(params),
+            naive_sizes,
+            table,
+            big_n,
+        })
+    }
+
+    /// The scheme this sizer implements.
+    #[must_use]
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Buffer size at load `(n, k)`.
+    #[must_use]
+    pub fn size(&self, n: usize, k: usize) -> Bits {
+        match self.kind {
+            SchemeKind::Static | SchemeKind::StaticMaxUse => self.static_size,
+            SchemeKind::NaiveDynamic => {
+                let idx = (n + k).min(self.big_n);
+                self.naive_sizes[idx]
+            }
+            SchemeKind::Dynamic => self
+                .table
+                .as_ref()
+                .expect("dynamic sizer always builds a table")
+                .size(n, k),
+        }
+    }
+
+    /// The largest size this sizer can return (`BS(N)` for every scheme).
+    #[must_use]
+    pub fn max_size(&self) -> Bits {
+        self.static_size
+    }
+
+    /// The precomputed Theorem-1 table, when the scheme has one.
+    #[must_use]
+    pub fn table(&self) -> Option<&SizeTable> {
+        self.table.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sched::SchedulingMethod;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_defaults(SchedulingMethod::RoundRobin)
+    }
+
+    #[test]
+    fn static_sizer_ignores_load() {
+        let s = Sizer::new(SchemeKind::Static, &params()).expect("valid");
+        assert_eq!(s.size(1, 0), s.size(79, 10));
+        assert_eq!(s.size(1, 0), s.max_size());
+    }
+
+    #[test]
+    fn maxuse_sizes_like_static() {
+        let s = Sizer::new(SchemeKind::StaticMaxUse, &params()).expect("valid");
+        let st = Sizer::new(SchemeKind::Static, &params()).expect("valid");
+        assert_eq!(s.size(7, 2), st.size(7, 2));
+    }
+
+    #[test]
+    fn naive_sizer_applies_estimate_to_eq5() {
+        let p = params();
+        let s = Sizer::new(SchemeKind::NaiveDynamic, &p).expect("valid");
+        assert_eq!(
+            s.size(10, 4),
+            crate::static_scheme::static_buffer_size(&p, 14)
+        );
+        // Saturates at N.
+        assert_eq!(s.size(70, 30), s.size(79, 0));
+    }
+
+    #[test]
+    fn dynamic_sizer_uses_theorem1_table() {
+        let p = params();
+        let s = Sizer::new(SchemeKind::Dynamic, &p).expect("valid");
+        let t = SizeTable::build(&p);
+        assert_eq!(s.size(10, 4), t.size(10, 4));
+        assert!(s.table().is_some());
+    }
+
+    #[test]
+    fn dynamic_allocates_more_than_naive_below_capacity() {
+        // The naive scheme under-sizes: BS(n+k) by Eq. 5 ignores that
+        // future buffers are bigger. Theorem 1's size is strictly larger
+        // at partial load (that gap is exactly what underflows).
+        let p = params();
+        let naive = Sizer::new(SchemeKind::NaiveDynamic, &p).expect("valid");
+        let dynamic = Sizer::new(SchemeKind::Dynamic, &p).expect("valid");
+        for n in [5usize, 20, 40, 60] {
+            let k = 2;
+            assert!(
+                dynamic.size(n, k) > naive.size(n, k),
+                "n={n}: dynamic {} <= naive {}",
+                dynamic.size(n, k),
+                naive.size(n, k)
+            );
+        }
+    }
+
+    #[test]
+    fn every_scheme_tops_out_at_static_size() {
+        for kind in SchemeKind::ALL {
+            let s = Sizer::new(kind, &params()).expect("valid");
+            assert_eq!(s.size(79, 0), s.max_size(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            SchemeKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), SchemeKind::ALL.len());
+        assert!(SchemeKind::Dynamic.is_dynamic());
+        assert!(SchemeKind::NaiveDynamic.is_dynamic());
+        assert!(!SchemeKind::Static.is_dynamic());
+    }
+}

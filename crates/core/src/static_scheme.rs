@@ -1,0 +1,111 @@
+//! The static buffer allocation scheme (§2.3, Eq. 5) — the baseline.
+
+use vod_types::Bits;
+
+use crate::params::SystemParams;
+
+/// Minimum buffer size to support `n` concurrent streams under the two
+/// feasibility conditions of §2.3 (Eq. 5, proven in Chang &
+/// Garcia-Molina):
+///
+/// ```text
+/// BS(n) = n·CR·DL·TR / (TR − n·CR)
+/// ```
+///
+/// The *static scheme* evaluates this once at `n = N` and allocates
+/// `BS(N)` to every stream forever. Note how the denominator collapses as
+/// `n → TR/CR`: near full load the buffer size blows up, which is why
+/// allocating the full-load size to a lightly loaded server is so costly.
+///
+/// `DL` is the configured method's worst-case per-buffer latency **at load
+/// `n`** (it depends on `n` for Sweep\*).
+///
+/// Returns [`Bits::ZERO`] for `n = 0` and saturates at `BS(N)` for
+/// `n > N` (a load the disk cannot carry; callers validate earlier).
+#[must_use]
+pub fn static_buffer_size(params: &SystemParams, n: usize) -> Bits {
+    let big_n = params.max_requests();
+    let n = n.min(big_n);
+    if n == 0 {
+        return Bits::ZERO;
+    }
+    let tr = params.tr().as_f64();
+    let cr = params.cr().as_f64();
+    let dl = params.disk_latency(n).as_secs_f64();
+    let nf = n as f64;
+    Bits::new(nf * cr * dl * tr / (tr - nf * cr))
+}
+
+/// The size the static scheme actually allocates: `BS(N)`, independent of
+/// the current load.
+#[must_use]
+pub fn static_allocated_size(params: &SystemParams) -> Bits {
+    static_buffer_size(params, params.max_requests())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sched::SchedulingMethod;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_defaults(SchedulingMethod::RoundRobin)
+    }
+
+    #[test]
+    fn matches_hand_computed_full_load_value() {
+        // BS(79) = 79 · 1.5e6 · DL · 120e6 / (120e6 − 79·1.5e6)
+        // DL^RR = γ(7501) + θ = (5 + 0.0014·7501 + 8.33) ms = 23.8314 ms.
+        let p = params();
+        let dl = 0.023_831_4;
+        let expected = 79.0 * 1.5e6 * dl * 120.0e6 / (120.0e6 - 79.0 * 1.5e6);
+        let got = static_buffer_size(&p, 79).as_f64();
+        assert!(
+            (got - expected).abs() / expected < 1e-6,
+            "got {got}, expected {expected}"
+        );
+        // ≈ 28 MB: the number the paper's Fig. 9a plateau shows.
+        assert!((Bits::new(got).as_mebibytes() - 26.9).abs() < 1.0);
+    }
+
+    #[test]
+    fn grows_rapidly_near_full_load() {
+        let p = params();
+        let bs70 = static_buffer_size(&p, 70).as_f64();
+        let bs79 = static_buffer_size(&p, 79).as_f64();
+        // §2.3: BS(n) increases very rapidly as n approaches TR/CR.
+        assert!(bs79 > 5.0 * bs70, "bs70={bs70}, bs79={bs79}");
+    }
+
+    #[test]
+    fn is_monotone_in_n() {
+        let p = params();
+        let mut prev = Bits::ZERO;
+        for n in 0..=79 {
+            let bs = static_buffer_size(&p, n);
+            assert!(bs >= prev, "BS not monotone at n={n}");
+            prev = bs;
+        }
+    }
+
+    #[test]
+    fn zero_and_overflow_loads() {
+        let p = params();
+        assert_eq!(static_buffer_size(&p, 0), Bits::ZERO);
+        assert_eq!(static_buffer_size(&p, 200), static_buffer_size(&p, 79));
+    }
+
+    #[test]
+    fn allocated_size_is_full_load_size() {
+        let p = params();
+        assert_eq!(static_allocated_size(&p), static_buffer_size(&p, 79));
+    }
+
+    #[test]
+    fn sweep_buffers_are_smaller_than_round_robin() {
+        // Sweep's DL per buffer is smaller, so its buffers are smaller.
+        let rr = static_allocated_size(&params());
+        let sw = static_allocated_size(&SystemParams::paper_defaults(SchedulingMethod::Sweep));
+        assert!(sw < rr);
+    }
+}

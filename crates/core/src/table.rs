@@ -1,0 +1,139 @@
+//! The `O(N²)` precomputed buffer-size table (§3.3).
+//!
+//! Evaluating Theorem 1 on every allocation costs CPU on the service hot
+//! path, so the paper prescribes precomputing `BS_k(n)` for all feasible
+//! `(n, k)` at system-initialization time. Both `n` and `k` are bounded by
+//! `N` (at most `N` streams are ever in service, and at most `N` more
+//! could be admitted), so the table is `(N+1) × (N+1)` — 6 400 entries for
+//! the Barracuda 9LP, negligible memory.
+
+use vod_types::{Bits, ConfigError};
+
+use crate::closed_form::buffer_size_closed_form;
+use crate::params::SystemParams;
+
+/// Precomputed `BS_k(n)` for `0 ≤ n, k ≤ N`.
+#[derive(Clone, Debug)]
+pub struct SizeTable {
+    big_n: usize,
+    /// Row-major: `sizes[n * (N+1) + k]`.
+    sizes: Vec<Bits>,
+}
+
+impl SizeTable {
+    /// Builds the table by evaluating Theorem 1's closed form at every
+    /// cell. Panics never; infeasible parameter sets must be caught by
+    /// [`SystemParams::validate`] first (see [`SizeTable::try_build`]).
+    #[must_use]
+    pub fn build(params: &SystemParams) -> Self {
+        let big_n = params.max_requests();
+        let width = big_n + 1;
+        let mut sizes = Vec::with_capacity(width * width);
+        for n in 0..=big_n {
+            for k in 0..=big_n {
+                sizes.push(buffer_size_closed_form(params, n, k));
+            }
+        }
+        SizeTable { big_n, sizes }
+    }
+
+    /// Validates the parameters, then builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `params` is infeasible.
+    pub fn try_build(params: &SystemParams) -> Result<Self, ConfigError> {
+        params.validate()?;
+        Ok(Self::build(params))
+    }
+
+    /// `BS_k(n)`, clamping `n` and `k` to `N` (the paper caps both: more
+    /// than `N` streams can never be serviced, so larger arguments are
+    /// equivalent to `N`).
+    #[must_use]
+    pub fn size(&self, n: usize, k: usize) -> Bits {
+        let n = n.min(self.big_n);
+        let k = k.min(self.big_n);
+        self.sizes[n * (self.big_n + 1) + k]
+    }
+
+    /// The maximum supported stream count `N`.
+    #[must_use]
+    pub fn max_requests(&self) -> usize {
+        self.big_n
+    }
+
+    /// The largest entry — the full-load static size `BS(N)`, useful for
+    /// chunk-size validation ([`vod_disk::layout::validate_chunk_size`]).
+    #[must_use]
+    pub fn max_size(&self) -> Bits {
+        self.size(self.big_n, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::buffer_size_closed_form;
+    use crate::static_scheme::static_buffer_size;
+    use vod_sched::SchedulingMethod;
+
+    fn table() -> (SystemParams, SizeTable) {
+        let p = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        let t = SizeTable::build(&p);
+        (p, t)
+    }
+
+    #[test]
+    fn lookup_agrees_with_direct_evaluation() {
+        let (p, t) = table();
+        for n in (0..=79).step_by(7) {
+            for k in (0..=79).step_by(11) {
+                assert_eq!(t.size(n, k), buffer_size_closed_form(&p, n, k));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_arguments_clamp_to_n() {
+        let (_, t) = table();
+        assert_eq!(t.size(500, 0), t.size(79, 0));
+        assert_eq!(t.size(10, 500), t.size(10, 79));
+    }
+
+    #[test]
+    fn max_size_is_full_load_static_size() {
+        let (p, t) = table();
+        assert_eq!(t.max_size(), t.size(79, 0));
+        let st = static_buffer_size(&p, 79);
+        assert!((t.max_size().as_f64() - st.as_f64()).abs() / st.as_f64() < 1e-12);
+    }
+
+    #[test]
+    fn try_build_rejects_invalid_params() {
+        let mut p = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        p.alpha = 0;
+        assert!(SizeTable::try_build(&p).is_err());
+    }
+
+    #[test]
+    fn table_is_monotone_in_both_arguments() {
+        let (_, t) = table();
+        for n in 0..=79usize {
+            for k in 1..=79usize {
+                assert!(t.size(n, k) >= t.size(n, k - 1), "k-monotone at ({n},{k})");
+            }
+        }
+        for k in 0..=79usize {
+            for n in 1..=79usize {
+                assert!(t.size(n, k) >= t.size(n - 1, k), "n-monotone at ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn reports_big_n() {
+        let (_, t) = table();
+        assert_eq!(t.max_requests(), 79);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests on the admission controller: the inertia assumptions
+//! hold across arbitrary interleavings of arrivals, admissions,
+//! allocations, and departures.
+
+use proptest::prelude::*;
+use vod_core::{AdmissionController, SystemParams};
+use vod_sched::SchedulingMethod;
+use vod_types::{Instant, RequestId, Seconds};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Arrive,
+    TryAdmit,
+    /// Allocate for the i-th (mod len) active stream.
+    Allocate(u8),
+    /// Depart the i-th (mod len) active stream.
+    Depart(u8),
+    Tick(u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Op::Arrive),
+            Just(Op::TryAdmit),
+            (0u8..255).prop_map(Op::Allocate),
+            (0u8..255).prop_map(Op::Depart),
+            (1u16..5000).prop_map(Op::Tick),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn assumptions_hold_under_arbitrary_interleavings(ops in ops()) {
+        let params = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        let big_n = params.max_requests();
+        let alpha = params.alpha as usize;
+        let mut ctl = AdmissionController::new(params, Seconds::from_minutes(40.0))
+            .expect("valid");
+        let mut t = Instant::ZERO;
+        let mut next_id = 0u64;
+        let mut active: Vec<RequestId> = Vec::new();
+        // (n_i, k_i) records we have observed per active stream.
+        let mut records: std::collections::HashMap<RequestId, (usize, usize)> =
+            std::collections::HashMap::new();
+        let period = Seconds::from_secs(2.0);
+
+        for op in ops {
+            match op {
+                Op::Arrive => {
+                    ctl.note_arrival(t);
+                }
+                Op::TryAdmit => {
+                    let id = RequestId::new(next_id);
+                    if ctl.can_admit() {
+                        ctl.admit(id).expect("can_admit() said yes");
+                        next_id += 1;
+                        active.push(id);
+                        // Assumption 1 as the paper states it: the new
+                        // count respects every recorded bound.
+                        for (&_, &(n_i, k_i)) in &records {
+                            prop_assert!(
+                                active.len() <= n_i + k_i,
+                                "admission violated a ({n_i},{k_i}) record"
+                            );
+                        }
+                        prop_assert!(active.len() <= big_n);
+                    } else {
+                        prop_assert!(ctl.admit(id).is_err());
+                    }
+                }
+                Op::Allocate(i) => {
+                    if !active.is_empty() {
+                        let id = active[usize::from(i) % active.len()];
+                        let alloc = ctl.allocate(id, t, period).expect("active");
+                        prop_assert_eq!(alloc.n, active.len());
+                        // Assumption 2: k_c ≤ every k_i + α.
+                        for (&other, &(_, k_i)) in &records {
+                            if other != id {
+                                prop_assert!(
+                                    alloc.k <= k_i + alpha,
+                                    "k_c {} > k_i {} + α", alloc.k, k_i
+                                );
+                            }
+                        }
+                        prop_assert!(alloc.k <= big_n);
+                        records.insert(id, (alloc.n, alloc.k));
+                    }
+                }
+                Op::Depart(i) => {
+                    if !active.is_empty() {
+                        let idx = usize::from(i) % active.len();
+                        let id = active.swap_remove(idx);
+                        ctl.depart(id).expect("active");
+                        records.remove(&id);
+                    }
+                }
+                Op::Tick(ms) => {
+                    t += Seconds::from_millis(f64::from(ms));
+                }
+            }
+            prop_assert_eq!(ctl.active_count(), active.len());
+            prop_assert!(ctl.admission_bound() <= big_n);
+        }
+    }
+
+    #[test]
+    fn estimate_is_side_effect_free(arrivals in 1usize..50) {
+        let params = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        let mut ctl = AdmissionController::new(params, Seconds::from_minutes(40.0))
+            .expect("valid");
+        let t = Instant::from_secs(10.0);
+        for i in 0..arrivals {
+            ctl.note_arrival(Instant::from_secs(i as f64 * 0.1));
+        }
+        let period = Seconds::from_secs(3.0);
+        let first = ctl.estimate_k(t, period);
+        let second = ctl.estimate_k(t, period);
+        prop_assert_eq!(first, second, "estimate_k must be repeatable");
+        prop_assert_eq!(ctl.active_count(), 0, "estimate_k must not admit");
+    }
+}

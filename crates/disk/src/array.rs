@@ -1,0 +1,168 @@
+//! Multi-disk servers.
+//!
+//! Most VOD servers stripe or replicate a large catalog over many drives;
+//! the paper's capacity experiments (Figs. 13–14) use **10 Barracuda 9LP
+//! drives** whose per-disk load follows a Zipf distribution of video
+//! popularity (Wolf et al.). [`DiskArray`] owns the drives and the
+//! video→disk mapping; load *assignment* policy lives in `vod-workload`.
+
+use std::collections::BTreeMap;
+
+use vod_types::{Bits, ConfigError, DiskId, VideoId};
+
+use crate::disk::Disk;
+use crate::profile::DiskProfile;
+
+/// A homogeneous group of drives with a catalog spread across them.
+#[derive(Clone, Debug)]
+pub struct DiskArray {
+    disks: Vec<Disk>,
+    video_homes: BTreeMap<VideoId, DiskId>,
+}
+
+impl DiskArray {
+    /// Creates an array of `count` identical drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `count` is zero or the profile is
+    /// invalid.
+    pub fn homogeneous(profile: &DiskProfile, count: usize) -> Result<Self, ConfigError> {
+        if count == 0 {
+            return Err(ConfigError::new("disk_count", "must be at least 1"));
+        }
+        let mut disks = Vec::with_capacity(count);
+        for _ in 0..count {
+            disks.push(Disk::new(profile.clone())?);
+        }
+        Ok(DiskArray {
+            disks,
+            video_homes: BTreeMap::new(),
+        })
+    }
+
+    /// Number of drives.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// True when the array has no drives (never true for a constructed array).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Places `video` on `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the disk id is out of range, the video
+    /// is already placed somewhere in the array, or it does not fit.
+    pub fn place_video(
+        &mut self,
+        disk: DiskId,
+        video: VideoId,
+        size: Bits,
+    ) -> Result<(), ConfigError> {
+        if self.video_homes.contains_key(&video) {
+            return Err(ConfigError::new(
+                "video",
+                format!("{video} already placed in the array"),
+            ));
+        }
+        let d = self
+            .disks
+            .get_mut(disk.index())
+            .ok_or_else(|| ConfigError::new("disk", format!("{disk} out of range")))?;
+        d.place_video(video, size)?;
+        self.video_homes.insert(video, disk);
+        Ok(())
+    }
+
+    /// The disk holding `video`.
+    #[must_use]
+    pub fn home_of(&self, video: VideoId) -> Option<DiskId> {
+        self.video_homes.get(&video).copied()
+    }
+
+    /// Immutable access to a drive.
+    #[must_use]
+    pub fn disk(&self, id: DiskId) -> Option<&Disk> {
+        self.disks.get(id.index())
+    }
+
+    /// Mutable access to a drive.
+    pub fn disk_mut(&mut self, id: DiskId) -> Option<&mut Disk> {
+        self.disks.get_mut(id.index())
+    }
+
+    /// Iterates over `(id, disk)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DiskId, &Disk)> {
+        self.disks
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DiskId::new(i as u64), d))
+    }
+
+    /// Total capacity across drives.
+    #[must_use]
+    pub fn total_capacity(&self) -> Bits {
+        self.disks.iter().map(|d| d.profile().capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn video_size() -> Bits {
+        Bits::new(1.5e6 * 7200.0)
+    }
+
+    #[test]
+    fn builds_ten_disk_array() {
+        let arr = DiskArray::homogeneous(&DiskProfile::barracuda_9lp(), 10).expect("valid");
+        assert_eq!(arr.len(), 10);
+        assert!(!arr.is_empty());
+        assert!((arr.total_capacity().as_gigabytes() - 91.9).abs() < 0.01);
+        assert_eq!(arr.iter().count(), 10);
+    }
+
+    #[test]
+    fn rejects_empty_array() {
+        assert!(DiskArray::homogeneous(&DiskProfile::barracuda_9lp(), 0).is_err());
+    }
+
+    #[test]
+    fn places_videos_and_tracks_homes() {
+        let mut arr = DiskArray::homogeneous(&DiskProfile::barracuda_9lp(), 2).expect("valid");
+        arr.place_video(DiskId::new(0), VideoId::new(0), video_size())
+            .expect("fits");
+        arr.place_video(DiskId::new(1), VideoId::new(1), video_size())
+            .expect("fits");
+        assert_eq!(arr.home_of(VideoId::new(0)), Some(DiskId::new(0)));
+        assert_eq!(arr.home_of(VideoId::new(1)), Some(DiskId::new(1)));
+        assert_eq!(arr.home_of(VideoId::new(2)), None);
+        assert_eq!(arr.disk(DiskId::new(0)).expect("exists").layout().len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_video_across_disks() {
+        let mut arr = DiskArray::homogeneous(&DiskProfile::barracuda_9lp(), 2).expect("valid");
+        arr.place_video(DiskId::new(0), VideoId::new(0), video_size())
+            .expect("fits");
+        assert!(arr
+            .place_video(DiskId::new(1), VideoId::new(0), video_size())
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_disk() {
+        let mut arr = DiskArray::homogeneous(&DiskProfile::barracuda_9lp(), 2).expect("valid");
+        assert!(arr
+            .place_video(DiskId::new(5), VideoId::new(0), video_size())
+            .is_err());
+        assert!(arr.disk(DiskId::new(5)).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Worst-case initial-latency formulas (Eqs. 2–4 of the paper).
+//!
+//! *Initial latency* is the time between the arrival of a user request and
+//! the arrival of its first video data in server memory. It matters
+//! because VCR operations are modelled as new requests, so initial latency
+//! is the response time of every interactive operation.
+//!
+//! All three formulas are linear in the buffer size `BS`, which is the
+//! paper's motivation for minimizing `BS`: with `DL`, `TR`, and `g`
+//! constant, shrinking the buffer shrinks both memory use *and* latency.
+
+use vod_disk::DiskProfile;
+use vod_types::{Bits, Seconds};
+
+use crate::method::SchedulingMethod;
+
+/// Worst-case initial latency for a new request arriving when `n` streams
+/// are in service and buffers of size `bs` are being allocated.
+///
+/// * Round-Robin (BubbleUp), Eq. 2: `2·DL + BS/TR` — wait out the service
+///   in execution (`DL + BS/TR`), then one more `DL` for the new request's
+///   own seek (its transfer completes the "data in memory" event, so the
+///   final `BS/TR` of Eq. 2's derivation is folded into the first term by
+///   the paper; we follow Eq. 2 verbatim).
+/// * Sweep\*, Eq. 3: `2n(DL + BS/TR) + DL + BS/TR` — arrive just after a
+///   period starts, wait that period and be serviced last in the next.
+/// * GSS\*, Eq. 4: `2g(DL + BS/TR)` — wait out the current group, then be
+///   serviced in the next group.
+#[must_use]
+pub fn worst_initial_latency(
+    method: SchedulingMethod,
+    profile: &DiskProfile,
+    bs: Bits,
+    n: usize,
+) -> Seconds {
+    let dl = method.worst_disk_latency(profile, n);
+    let transfer = bs / profile.transfer_rate;
+    match method {
+        SchedulingMethod::RoundRobin => dl * 2.0 + transfer,
+        SchedulingMethod::Sweep => (dl + transfer) * (2 * n.max(1)) as f64 + dl + transfer,
+        SchedulingMethod::Gss { .. } => {
+            let g = method.effective_group_size(n);
+            (dl + transfer) * (2 * g) as f64
+        }
+    }
+}
+
+/// Worst-case initial latency of the *Fixed-Stretch* scheme — the
+/// Round-Robin scheduler **without** BubbleUp, kept for comparison with
+/// related work. A new request must wait for its slot in a full service
+/// period of `n + 1` equally stretched slots, then its own service:
+/// `(n + 1)·(DL + BS/TR) + DL + BS/TR`.
+#[must_use]
+pub fn worst_initial_latency_fixed_stretch(profile: &DiskProfile, bs: Bits, n: usize) -> Seconds {
+    let dl = SchedulingMethod::RoundRobin.worst_disk_latency(profile, n);
+    let slot = dl + bs / profile.transfer_rate;
+    slot * (n.max(1) + 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskProfile {
+        DiskProfile::barracuda_9lp()
+    }
+
+    fn bs() -> Bits {
+        Bits::from_megabits(12.0)
+    }
+
+    #[test]
+    fn round_robin_matches_eq2() {
+        let dl = SchedulingMethod::RoundRobin
+            .worst_disk_latency(&disk(), 5)
+            .as_secs_f64();
+        let il = worst_initial_latency(SchedulingMethod::RoundRobin, &disk(), bs(), 5);
+        let expected = 2.0 * dl + 12.0e6 / 120.0e6;
+        assert!((il.as_secs_f64() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_matches_eq3() {
+        let n = 10;
+        let dl = SchedulingMethod::Sweep
+            .worst_disk_latency(&disk(), n)
+            .as_secs_f64();
+        let il = worst_initial_latency(SchedulingMethod::Sweep, &disk(), bs(), n);
+        let slot = dl + 0.1;
+        let expected = 2.0 * (n as f64) * slot + slot;
+        assert!((il.as_secs_f64() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gss_matches_eq4() {
+        let n = 40;
+        let dl = SchedulingMethod::GSS_PAPER
+            .worst_disk_latency(&disk(), n)
+            .as_secs_f64();
+        let il = worst_initial_latency(SchedulingMethod::GSS_PAPER, &disk(), bs(), n);
+        let expected = 2.0 * 8.0 * (dl + 0.1);
+        assert!((il.as_secs_f64() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_linear_in_buffer_size() {
+        for m in SchedulingMethod::paper_methods() {
+            let n = 20;
+            let il1 = worst_initial_latency(m, &disk(), Bits::from_megabits(4.0), n);
+            let il2 = worst_initial_latency(m, &disk(), Bits::from_megabits(8.0), n);
+            let il3 = worst_initial_latency(m, &disk(), Bits::from_megabits(12.0), n);
+            // Equal increments in BS give equal increments in IL.
+            let d1 = il2.as_secs_f64() - il1.as_secs_f64();
+            let d2 = il3.as_secs_f64() - il2.as_secs_f64();
+            assert!((d1 - d2).abs() < 1e-12, "{m}: not linear");
+            assert!(d1 > 0.0, "{m}: not increasing");
+        }
+    }
+
+    #[test]
+    fn sweep_latency_grows_with_n_at_fixed_bs() {
+        // More streams per period -> longer wait for the new request.
+        let il5 = worst_initial_latency(SchedulingMethod::Sweep, &disk(), bs(), 5);
+        let il50 = worst_initial_latency(SchedulingMethod::Sweep, &disk(), bs(), 50);
+        assert!(il50 > il5);
+    }
+
+    #[test]
+    fn bubbleup_beats_fixed_stretch() {
+        // BubbleUp's whole point: the new request does not wait a full
+        // period. At any realistic n its worst IL is far below
+        // Fixed-Stretch's.
+        for n in [1, 10, 40, 79] {
+            let bubble = worst_initial_latency(SchedulingMethod::RoundRobin, &disk(), bs(), n);
+            let fixed = worst_initial_latency_fixed_stretch(&disk(), bs(), n);
+            assert!(bubble < fixed, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gss_latency_is_between_rr_and_sweep_for_large_n() {
+        // With g=8 < n, GSS* waits ~2 groups: more than BubbleUp's single
+        // service, less than Sweep*'s two full periods.
+        let n = 79;
+        let rr = worst_initial_latency(SchedulingMethod::RoundRobin, &disk(), bs(), n);
+        let gss = worst_initial_latency(SchedulingMethod::GSS_PAPER, &disk(), bs(), n);
+        let sweep = worst_initial_latency(SchedulingMethod::Sweep, &disk(), bs(), n);
+        assert!(rr < gss);
+        assert!(gss < sweep);
+    }
+}

@@ -1,0 +1,48 @@
+//! Service-order helpers used by the simulator.
+
+/// Orders items for a Sweep pass: ascending by cylinder, with the scan
+/// direction alternating per period (the classic elevator), so the head
+/// never retraces the whole disk between consecutive periods.
+///
+/// `ascending` is the direction of *this* period; the caller flips it each
+/// period. Returns indices into `cylinders` in service order. Ties keep
+/// their relative input order (stable), so equal-position streams are
+/// serviced in admission order.
+#[must_use]
+pub fn sweep_order(cylinders: &[u32], ascending: bool) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..cylinders.len()).collect();
+    idx.sort_by_key(|&i| cylinders[i]);
+    if !ascending {
+        idx.reverse();
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_orders_by_cylinder() {
+        let cyl = [500, 100, 300];
+        assert_eq!(sweep_order(&cyl, true), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn descending_reverses() {
+        let cyl = [500, 100, 300];
+        assert_eq!(sweep_order(&cyl, false), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn stable_for_ties() {
+        let cyl = [200, 200, 100];
+        assert_eq!(sweep_order(&cyl, true), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(sweep_order(&[], true).is_empty());
+        assert_eq!(sweep_order(&[7], false), vec![0]);
+    }
+}

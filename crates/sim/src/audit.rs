@@ -1,0 +1,121 @@
+//! Scoring the `k` estimator against reality (Figs. 7 and 8).
+//!
+//! Every buffer allocation by an estimating scheme opens an
+//! [`AuditRecord`] — with the estimate `k_c`
+//! and the usage-period window it covers. After the run, the record is scored
+//! against the *actual* arrivals (admitted or not): the estimation was
+//! **successful** when `k_estimated ≥` the number of arrivals inside the
+//! window — the paper's definition in §3.1.
+
+use vod_types::Instant;
+
+use crate::metrics::AuditRecord;
+
+/// Aggregated estimator quality over one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AuditOutcome {
+    /// Number of allocations scored.
+    pub samples: usize,
+    /// Mean `k_c` across allocations — Fig. 7a / 8a's y-axis.
+    pub mean_estimated: f64,
+    /// Mean *actual* additional requests per allocation window.
+    pub mean_actual: f64,
+    /// Fraction of allocations with `k_estimated ≥ actual` — Fig. 7b /
+    /// 8b's y-axis.
+    pub success_probability: f64,
+}
+
+/// Scores audit records against the complete arrival-time list (which
+/// must be sorted ascending; every arrival counts, rejected ones too).
+#[must_use]
+pub fn evaluate_audits(audits: &[AuditRecord], arrival_times: &[Instant]) -> AuditOutcome {
+    debug_assert!(arrival_times.windows(2).all(|w| w[0] <= w[1]));
+    if audits.is_empty() {
+        return AuditOutcome::default();
+    }
+    let mut est_sum = 0.0;
+    let mut act_sum = 0.0;
+    let mut successes = 0usize;
+    for a in audits {
+        // Arrivals strictly after the allocation, up to the window's end.
+        let lo = arrival_times.partition_point(|&t| t <= a.at);
+        let end = a.at + a.window;
+        let hi = arrival_times.partition_point(|&t| t <= end);
+        let actual = hi - lo;
+        est_sum += a.k_estimated as f64;
+        act_sum += actual as f64;
+        if a.k_estimated >= actual {
+            successes += 1;
+        }
+    }
+    let n = audits.len() as f64;
+    AuditOutcome {
+        samples: audits.len(),
+        mean_estimated: est_sum / n,
+        mean_actual: act_sum / n,
+        success_probability: successes as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::Seconds;
+
+    fn rec(at: f64, window: f64, k: usize) -> AuditRecord {
+        AuditRecord {
+            at: Instant::from_secs(at),
+            window: Seconds::from_secs(window),
+            k_estimated: k,
+        }
+    }
+
+    fn times(ts: &[f64]) -> Vec<Instant> {
+        ts.iter().map(|&t| Instant::from_secs(t)).collect()
+    }
+
+    #[test]
+    fn empty_audits_give_defaults() {
+        let out = evaluate_audits(&[], &times(&[1.0, 2.0]));
+        assert_eq!(out, AuditOutcome::default());
+    }
+
+    #[test]
+    fn counts_arrivals_inside_window() {
+        // Window (10, 20]: arrivals at 12, 15, 20 count; 10 and 21 do not.
+        let arrivals = times(&[5.0, 10.0, 12.0, 15.0, 20.0, 21.0]);
+        let out = evaluate_audits(&[rec(10.0, 10.0, 3)], &arrivals);
+        assert_eq!(out.samples, 1);
+        assert!((out.mean_actual - 3.0).abs() < 1e-12);
+        assert!((out.success_probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underestimates_are_failures() {
+        let arrivals = times(&[11.0, 12.0, 13.0]);
+        let out = evaluate_audits(&[rec(10.0, 5.0, 2)], &arrivals);
+        assert_eq!(out.success_probability, 0.0);
+        assert!((out.mean_estimated - 2.0).abs() < 1e-12);
+        assert!((out.mean_actual - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_outcomes_average() {
+        let arrivals = times(&[11.0, 12.0, 31.0]);
+        let audits = [
+            rec(10.0, 5.0, 2), // actual 2: success
+            rec(30.0, 5.0, 0), // actual 1: failure
+        ];
+        let out = evaluate_audits(&audits, &arrivals);
+        assert!((out.success_probability - 0.5).abs() < 1e-12);
+        assert!((out.mean_estimated - 1.0).abs() < 1e-12);
+        assert!((out.mean_actual - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_arrivals_means_every_estimate_succeeds() {
+        let out = evaluate_audits(&[rec(0.0, 100.0, 0), rec(5.0, 100.0, 3)], &[]);
+        assert_eq!(out.success_probability, 1.0);
+        assert_eq!(out.mean_actual, 0.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The admission-level, multi-disk capacity simulator (Fig. 14, Table 5).
+//!
+//! In the capacity experiments the only cross-disk interaction is the
+//! **shared memory pool**: a request for disk `d` is admitted when `d`
+//! still has stream slots (`n_d < N`) *and* the whole server's minimum
+//! memory requirement — Theorems 2–4 summed over disks, with disk `d` at
+//! `n_d + 1` — fits in the configured memory. This is exactly the
+//! reservation the Fig. 13 analysis evaluates; running it against a
+//! Poisson/Zipf trace adds the stochastic load imbalance the paper's
+//! Fig. 14 measures.
+
+use std::collections::BinaryHeap;
+
+use vod_core::scheme::Sizer;
+use vod_core::{memory, ArrivalLog, SchemeKind, SizeTable, SystemParams};
+use vod_types::{Bits, ConfigError, Instant, Seconds};
+use vod_workload::Workload;
+
+/// Configuration of one capacity run.
+#[derive(Clone, Debug)]
+pub struct CapacityConfig {
+    /// Per-disk parameters (all disks identical).
+    pub params: SystemParams,
+    /// The allocation scheme under test.
+    pub scheme: SchemeKind,
+    /// Number of disks (10 in the paper's Figs. 13–14).
+    pub disks: usize,
+    /// Total buffer memory shared by all disks.
+    pub total_memory: Bits,
+    /// `T_log` of the estimating schemes.
+    pub t_log: Seconds,
+}
+
+/// What one capacity run measured.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CapacityResult {
+    /// Peak number of concurrently serviced streams — Fig. 14's y-axis.
+    pub max_concurrent: usize,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected (no stream slot or no memory).
+    pub rejected: u64,
+    /// Peak total memory reservation.
+    pub peak_reserved: Bits,
+    /// Per-disk peak stream counts.
+    pub per_disk_peak: Vec<usize>,
+}
+
+#[derive(PartialEq)]
+struct Departure {
+    at: Instant,
+    disk: usize,
+}
+
+impl Eq for Departure {}
+
+impl Ord for Departure {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on time.
+        other.at.cmp(&self.at)
+    }
+}
+
+impl PartialOrd for Departure {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The capacity simulator.
+pub struct CapacitySim {
+    cfg: CapacityConfig,
+    sizer: Sizer,
+    table: Option<SizeTable>,
+}
+
+impl CapacitySim {
+    /// Builds the simulator, precomputing the scheme's size table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn new(cfg: CapacityConfig) -> Result<Self, ConfigError> {
+        cfg.params.validate()?;
+        if cfg.disks == 0 {
+            return Err(ConfigError::new("disks", "must be at least 1"));
+        }
+        if !cfg.total_memory.is_valid_size() || cfg.total_memory.is_zero() {
+            return Err(ConfigError::new("total_memory", "must be positive"));
+        }
+        let sizer = Sizer::new(cfg.scheme, &cfg.params)?;
+        let table = match cfg.scheme {
+            SchemeKind::Dynamic => Some(SizeTable::build(&cfg.params)),
+            _ => None,
+        };
+        Ok(CapacitySim { cfg, sizer, table })
+    }
+
+    /// Replays a workload (arrivals across all disks) and measures the
+    /// achievable concurrency under the memory constraint.
+    #[must_use]
+    pub fn run(&self, workload: &Workload) -> CapacityResult {
+        let d = self.cfg.disks;
+        let big_n = self.cfg.params.max_requests();
+        let alpha = self.cfg.params.alpha as usize;
+        let mut n = vec![0usize; d];
+        let mut k_last = vec![alpha; d];
+        let mut reserved: Vec<Bits> = vec![Bits::ZERO; d];
+        let mut logs: Vec<ArrivalLog> = (0..d).map(|_| ArrivalLog::new(self.cfg.t_log)).collect();
+        let mut departures: BinaryHeap<Departure> = BinaryHeap::new();
+        let mut result = CapacityResult {
+            per_disk_peak: vec![0; d],
+            ..Default::default()
+        };
+        let mut total_reserved = Bits::ZERO;
+        let mut concurrent = 0usize;
+
+        for a in &workload.arrivals {
+            // Release departures up to this arrival.
+            while let Some(dep) = departures.peek() {
+                if dep.at > a.at {
+                    break;
+                }
+                let dep = departures.pop().expect("peeked");
+                n[dep.disk] -= 1;
+                concurrent -= 1;
+                let k = self.estimate_k(&mut logs[dep.disk], dep.at, n[dep.disk], k_last[dep.disk]);
+                k_last[dep.disk] = k;
+                let new_res = self.reservation(n[dep.disk], k);
+                total_reserved = total_reserved - reserved[dep.disk] + new_res;
+                reserved[dep.disk] = new_res;
+            }
+
+            let disk = a.disk.index();
+            if disk >= d {
+                // A request for a disk this server does not have cannot
+                // be serviced; count it so admitted + rejected always
+                // equals the workload size.
+                result.rejected += 1;
+                continue;
+            }
+            logs[disk].record(a.at);
+            if n[disk] >= big_n {
+                result.rejected += 1;
+                continue;
+            }
+            let k = self.estimate_k(&mut logs[disk], a.at, n[disk] + 1, k_last[disk]);
+            let needed = self.reservation(n[disk] + 1, k);
+            let prospective = total_reserved - reserved[disk] + needed;
+            if prospective > self.cfg.total_memory {
+                result.rejected += 1;
+                continue;
+            }
+            // Admit.
+            n[disk] += 1;
+            k_last[disk] = k;
+            total_reserved = prospective;
+            reserved[disk] = needed;
+            concurrent += 1;
+            result.admitted += 1;
+            result.max_concurrent = result.max_concurrent.max(concurrent);
+            result.per_disk_peak[disk] = result.per_disk_peak[disk].max(n[disk]);
+            result.peak_reserved = result.peak_reserved.max(total_reserved);
+            departures.push(Departure {
+                at: a.at + a.viewing,
+                disk,
+            });
+        }
+        result
+    }
+
+    /// Minimum memory a disk must reserve to run `n` streams under the
+    /// configured scheme (Theorems 2–4; static uses the `BS(N)`, `k=N−n`
+    /// instantiation — see `vod_core::memory`).
+    fn reservation(&self, n: usize, k: usize) -> Bits {
+        if n == 0 {
+            return Bits::ZERO;
+        }
+        match self.cfg.scheme {
+            SchemeKind::Static | SchemeKind::StaticMaxUse => {
+                memory::min_memory_static(&self.cfg.params, n)
+            }
+            SchemeKind::NaiveDynamic => {
+                let bs = self.sizer.size(n, k);
+                memory::min_memory_with(&self.cfg.params, bs, n, k)
+            }
+            SchemeKind::Dynamic => memory::min_memory_dynamic(
+                &self.cfg.params,
+                self.table.as_ref().expect("dynamic builds a table"),
+                n,
+                k,
+            ),
+        }
+    }
+
+    /// Per-disk `k` estimate: `k_log + α` over a usage-period window
+    /// (admission-level approximation of Fig. 5's Step 4).
+    fn estimate_k(&self, log: &mut ArrivalLog, now: Instant, n: usize, k_prev: usize) -> usize {
+        if !self.cfg.scheme.is_dynamic() {
+            return 0;
+        }
+        let n_eff = n.max(1);
+        let dl = self
+            .cfg
+            .params
+            .method
+            .worst_disk_latency(&self.cfg.params.disk, n_eff);
+        let slot = dl + self.sizer.size(n_eff, k_prev) / self.cfg.params.tr();
+        let period = slot * (n_eff + k_prev) as f64;
+        let alpha = self.cfg.params.alpha as usize;
+        (log.k_log(now, period) + alpha).min(self.cfg.params.max_requests())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sched::SchedulingMethod;
+    use vod_workload::{generate, WorkloadConfig};
+
+    fn cfg(scheme: SchemeKind, memory_gb: f64) -> CapacityConfig {
+        CapacityConfig {
+            params: SystemParams::paper_defaults(SchedulingMethod::RoundRobin),
+            scheme,
+            disks: 10,
+            total_memory: Bits::from_gigabytes(memory_gb),
+            t_log: Seconds::from_minutes(40.0),
+        }
+    }
+
+    fn heavy_workload(disk_theta: f64) -> Workload {
+        // Enough offered load to saturate 10 disks.
+        generate(&WorkloadConfig::paper_ten_disk(disk_theta, 20_000.0), 17).expect("valid")
+    }
+
+    #[test]
+    fn dynamic_beats_static_under_tight_memory() {
+        let w = heavy_workload(0.0);
+        let st = CapacitySim::new(cfg(SchemeKind::Static, 2.0))
+            .expect("valid")
+            .run(&w);
+        let dy = CapacitySim::new(cfg(SchemeKind::Dynamic, 2.0))
+            .expect("valid")
+            .run(&w);
+        assert!(
+            dy.max_concurrent as f64 > 1.5 * st.max_concurrent as f64,
+            "dynamic {} vs static {}",
+            dy.max_concurrent,
+            st.max_concurrent
+        );
+    }
+
+    #[test]
+    fn ample_memory_equalizes_schemes_at_disk_limit() {
+        let w = heavy_workload(0.0);
+        let st = CapacitySim::new(cfg(SchemeKind::Static, 30.0))
+            .expect("valid")
+            .run(&w);
+        let dy = CapacitySim::new(cfg(SchemeKind::Dynamic, 30.0))
+            .expect("valid")
+            .run(&w);
+        // With enough memory only the disks limit capacity (§5.3).
+        assert_eq!(st.max_concurrent, dy.max_concurrent);
+    }
+
+    #[test]
+    fn capacity_grows_with_memory() {
+        let w = heavy_workload(0.5);
+        let mut prev = 0;
+        for gb in [1.0, 2.0, 4.0, 8.0] {
+            let r = CapacitySim::new(cfg(SchemeKind::Static, gb))
+                .expect("valid")
+                .run(&w);
+            assert!(
+                r.max_concurrent >= prev,
+                "capacity dipped at {gb} GB: {} < {prev}",
+                r.max_concurrent
+            );
+            prev = r.max_concurrent;
+        }
+        assert!(prev > 0);
+    }
+
+    #[test]
+    fn per_disk_counts_respect_n() {
+        let w = heavy_workload(0.0);
+        let r = CapacitySim::new(cfg(SchemeKind::Dynamic, 30.0))
+            .expect("valid")
+            .run(&w);
+        for (d, &peak) in r.per_disk_peak.iter().enumerate() {
+            assert!(peak <= 79, "disk {d} exceeded N: {peak}");
+        }
+        // θ=0 skew: disk 0 is the hottest.
+        assert!(r.per_disk_peak[0] >= r.per_disk_peak[9]);
+        assert_eq!(r.admitted + r.rejected, w.len() as u64);
+    }
+
+    #[test]
+    fn reservation_never_exceeds_budget() {
+        let w = heavy_workload(0.5);
+        let budget = 3.0;
+        let r = CapacitySim::new(cfg(SchemeKind::Dynamic, budget))
+            .expect("valid")
+            .run(&w);
+        assert!(r.peak_reserved <= Bits::from_gigabytes(budget));
+        assert!(r.peak_reserved > Bits::ZERO);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(CapacitySim::new(CapacityConfig {
+            disks: 0,
+            ..cfg(SchemeKind::Static, 1.0)
+        })
+        .is_err());
+        assert!(CapacitySim::new(CapacityConfig {
+            total_memory: Bits::ZERO,
+            ..cfg(SchemeKind::Static, 1.0)
+        })
+        .is_err());
+    }
+}

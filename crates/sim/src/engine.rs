@@ -1,0 +1,1344 @@
+//! The buffer-level, single-disk VOD server engine.
+//!
+//! See the crate docs for the service model. The engine is deterministic:
+//! it consumes a pre-generated arrival trace and charges worst-case disk
+//! latencies (the paper's own modelling assumption), so two runs of the
+//! same trace are bit-identical.
+//!
+//! # Tracing
+//!
+//! Set `VOD_DEBUG_CYCLE=1`, `VOD_DEBUG_SVC=1`, or `VOD_DEBUG_UNDERFLOW=1`
+//! to stream cycle plans, individual services, or underflow events to
+//! stderr while debugging scheduling behaviour.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vod_core::scheme::Sizer;
+use vod_core::{memory, AdmissionController, ArrivalLog, SchemeKind, SystemParams};
+use vod_disk::{Disk, LatencyModel};
+use vod_sched::{AdmissionTiming, SchedulingMethod};
+use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VideoId};
+use vod_workload::Arrival;
+
+use crate::metrics::{AuditRecord, DiskRunStats, IlSample};
+use crate::stream::Stream;
+
+/// Configuration of one engine run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Disk, consumption rate, scheduling method, α.
+    pub params: SystemParams,
+    /// The buffer allocation scheme under test.
+    pub scheme: SchemeKind,
+    /// Retention horizon of the `k_log` estimator (`T_log`). The paper
+    /// uses 40 min for Round-Robin and 20 min for Sweep\*/GSS\*.
+    pub t_log: Seconds,
+    /// Total memory available for buffers; `None` = unbounded (the
+    /// latency experiments measure memory instead of limiting it).
+    ///
+    /// The reservation check runs at *arrival* time; a request deferred
+    /// by Assumption 1 is not re-checked when it is finally admitted, so
+    /// occupancy can transiently exceed the reservation model until the
+    /// next departure. The multi-disk capacity experiments use
+    /// [`crate::CapacitySim`], which reserves at admission, instead.
+    pub memory_budget: Option<Bits>,
+    /// Length of every video (for play-position ordering and end-of-video
+    /// read capping).
+    pub video_length: Seconds,
+    /// How disk latency is charged per service: the worst case the sizing
+    /// formulas assume (the paper's model), or sampled from actual head
+    /// movement over the on-disk layout (a realism ablation — buffers are
+    /// still *sized* for the worst case, so services complete early).
+    pub latency_model: LatencyModel,
+    /// Seed for the sampled-latency rotation draw (ignored under
+    /// [`LatencyModel::WorstCase`]).
+    pub latency_seed: u64,
+}
+
+impl EngineConfig {
+    /// The paper's configuration for a given method and scheme:
+    /// `T_log` = 40 min (Round-Robin) / 20 min (Sweep\*, GSS\*),
+    /// unbounded memory, 120-minute videos.
+    #[must_use]
+    pub fn paper(method: SchedulingMethod, scheme: SchemeKind) -> Self {
+        let t_log = match method {
+            SchedulingMethod::RoundRobin => Seconds::from_minutes(40.0),
+            _ => Seconds::from_minutes(20.0),
+        };
+        EngineConfig {
+            params: SystemParams::paper_defaults(method),
+            scheme,
+            t_log,
+            memory_budget: None,
+            video_length: Seconds::from_minutes(120.0),
+            latency_model: LatencyModel::WorstCase,
+            latency_seed: 0x5eed,
+        }
+    }
+}
+
+/// Scheme-specific runtime state.
+enum SchemeState {
+    /// Static and StaticMaxUse: no estimator, admission is `n < N`.
+    Static,
+    /// The naive Fig. 3 scheme: estimates `k` but does not enforce.
+    Naive(ArrivalLog),
+    /// The paper's scheme: full predict-and-enforce.
+    Dynamic(Box<AdmissionController>),
+}
+
+/// A request waiting in the admission queue `Q`.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    id: RequestId,
+    video: VideoId,
+    arrived: Instant,
+    viewing: Seconds,
+    n_at_arrival: usize,
+    /// The next virtual slot/period/group boundary after arrival — the
+    /// earliest instant the scheduling method will first service this
+    /// request (Fixed-Stretch slot semantics behind Eqs. 2–4).
+    eligible_at: Instant,
+    deferred_counted: bool,
+}
+
+/// Aggregate-memory accounting: `used(t) = levels − CR·(draining·t − Σ tᵢ)`
+/// over all viewing streams, updated incrementally (O(1) per event).
+#[derive(Debug, Default, Clone, Copy)]
+struct MemTracker {
+    levels: f64,
+    draining: f64,
+    time_sum: f64,
+    peak: f64,
+}
+
+impl MemTracker {
+    fn used_at(&self, t: Instant, cr: f64) -> f64 {
+        (self.levels - cr * (self.draining * t.as_secs_f64() - self.time_sum)).max(0.0)
+    }
+    fn on_first_fill(&mut self, t: Instant) {
+        self.draining += 1.0;
+        self.time_sum += t.as_secs_f64();
+    }
+    fn on_materialize(&mut self, old_time: Instant, new_time: Instant, consumed: Bits) {
+        self.levels -= consumed.as_f64();
+        self.time_sum += new_time.as_secs_f64() - old_time.as_secs_f64();
+    }
+    fn on_fill(&mut self, read: Bits) {
+        self.levels += read.as_f64();
+    }
+    fn on_depart(&mut self, level: Bits, at: Instant) {
+        self.levels -= level.as_f64();
+        self.draining -= 1.0;
+        self.time_sum -= at.as_secs_f64();
+    }
+    fn observe(&mut self, t: Instant, cr: f64) {
+        let u = self.used_at(t, cr);
+        if u > self.peak {
+            self.peak = u;
+        }
+    }
+}
+
+/// The single-disk server engine.
+pub struct DiskEngine {
+    cfg: EngineConfig,
+    sizer: Sizer,
+    scheme: SchemeState,
+    t: Instant,
+    streams: HashMap<RequestId, Stream>,
+    /// Admission order of active streams (the Round-Robin base order).
+    base_order: Vec<RequestId>,
+    /// The current cycle's service order and position.
+    order: Vec<RequestId>,
+    cursor: usize,
+    cycle_start: Instant,
+    cycle_active: bool,
+    /// Reads performed in the current cycle (progress detection).
+    cycle_services: u64,
+    /// Mid-cycle insertions the current cycle can still absorb without
+    /// pushing tail refills past their dues.
+    cycle_insertions_left: usize,
+    last_period: Option<Seconds>,
+    pending: VecDeque<Pending>,
+    /// Departure times of viewing streams, keyed for eager processing.
+    departures: BinaryHeap<Reverse<(Instant, u64)>>,
+    mem: MemTracker,
+    conc_events: Vec<(Instant, i32)>,
+    stats: DiskRunStats,
+    last_k: usize,
+    /// Physical drive model; present only under sampled latency.
+    sampled_disk: Option<Box<Disk>>,
+    rng: SmallRng,
+}
+
+impl DiskEngine {
+    /// Builds an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn new(cfg: EngineConfig) -> Result<Self, ConfigError> {
+        cfg.params.validate()?;
+        if !cfg.video_length.is_valid_duration() || cfg.video_length <= Seconds::ZERO {
+            return Err(ConfigError::new("video_length", "must be positive"));
+        }
+        let rng = SmallRng::seed_from_u64(cfg.latency_seed);
+        let sampled_disk = match cfg.latency_model {
+            LatencyModel::WorstCase => None,
+            LatencyModel::Sampled => Some(Box::new(Disk::new(cfg.params.disk.clone())?)),
+        };
+        let sizer = Sizer::new(cfg.scheme, &cfg.params)?;
+        let scheme = match cfg.scheme {
+            SchemeKind::Static | SchemeKind::StaticMaxUse => SchemeState::Static,
+            SchemeKind::NaiveDynamic => SchemeState::Naive(ArrivalLog::new(cfg.t_log)),
+            SchemeKind::Dynamic => SchemeState::Dynamic(Box::new(AdmissionController::new(
+                cfg.params.clone(),
+                cfg.t_log,
+            )?)),
+        };
+        Ok(DiskEngine {
+            cfg,
+            sizer,
+            scheme,
+            t: Instant::ZERO,
+            streams: HashMap::new(),
+            base_order: Vec::new(),
+            order: Vec::new(),
+            cursor: 0,
+            cycle_start: Instant::ZERO,
+            cycle_active: false,
+            cycle_services: 0,
+            cycle_insertions_left: usize::MAX,
+            last_period: None,
+            pending: VecDeque::new(),
+            departures: BinaryHeap::new(),
+            mem: MemTracker::default(),
+            conc_events: Vec::new(),
+            stats: DiskRunStats::default(),
+            last_k: 0,
+            sampled_disk,
+            rng,
+        })
+    }
+
+    /// Runs the engine over a time-sorted arrival trace (all targeting
+    /// this disk) and returns the measurements. The run continues until
+    /// every admitted stream has departed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not time-sorted, or if the engine fails to
+    /// make progress (a bug, guarded by an iteration bound).
+    #[must_use]
+    pub fn run(mut self, arrivals: &[Arrival]) -> DiskRunStats {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival trace must be time-sorted"
+        );
+        let mut ai = 0usize;
+        let mut next_id = 0u64;
+        // Generous progress bound: every iteration either services a
+        // buffer, ingests an arrival, or advances to a departure.
+        let max_iters = 200_000_000u64;
+        let mut iters = 0u64;
+
+        loop {
+            iters += 1;
+            assert!(
+                iters < max_iters,
+                "engine failed to make progress at {}",
+                self.t
+            );
+
+            // Retire departures and ingest arrivals up to the current
+            // time. Departures first: a request arriving "now" must see
+            // the true number of streams in service, not corpses holding
+            // slots until the cycle boundary.
+            self.process_due_departures();
+            while ai < arrivals.len() && arrivals[ai].at <= self.t {
+                self.ingest(&arrivals[ai], &mut next_id);
+                ai += 1;
+            }
+
+            if self.cursor >= self.order.len() {
+                // ---- Cycle boundary ----
+                let mut idle_cycle = false;
+                if self.cycle_active {
+                    self.last_period = Some(self.t - self.cycle_start);
+                    self.stats.cycles += 1;
+                    self.cycle_active = false;
+                    idle_cycle = self.cycle_services == 0;
+                }
+                self.order.clear();
+                self.process_due_departures();
+                self.try_admissions();
+                self.rebuild_order();
+
+                if self.order.is_empty() {
+                    // Idle: jump to the next external event (arrival,
+                    // departure, or a queued request's slot boundary).
+                    let candidates = [
+                        arrivals.get(ai).map(|a| a.at),
+                        self.earliest_departure(),
+                        self.pending.front().map(|p| p.eligible_at),
+                    ];
+                    let next = candidates.iter().flatten().copied().min();
+                    match next {
+                        Some(target) => self.t = target.max(self.t),
+                        None => {
+                            if self.pending.is_empty() {
+                                break; // fully drained
+                            }
+                            // Unreachable in practice: an empty roster
+                            // admits freely; surviving queue entries were
+                            // memory-rejected — drop them.
+                            while self.pending.pop_front().is_some() {
+                                self.stats.rejected += 1;
+                            }
+                        }
+                    }
+                    continue;
+                }
+
+                let plan = self.plan_cycle_start();
+                if idle_cycle && plan.is_some_and(|p| p.start <= self.t) {
+                    // The last cycle read nothing and we would re-run it at
+                    // the same instant: every stream is over-provisioned
+                    // relative to its current allocation. Idle until just
+                    // before the first buffer drains (or the next external
+                    // event), where a refill is guaranteed to be non-empty
+                    // and still completes in time.
+                    let fallback = plan.expect("checked is_some").fallback;
+                    let mut target = fallback;
+                    if let Some(a) = arrivals.get(ai) {
+                        target = target.min(a.at);
+                    }
+                    if let Some(d) = self.earliest_departure() {
+                        target = target.min(d);
+                    }
+                    if target > self.t {
+                        self.t = target;
+                        self.order.clear();
+                        continue;
+                    }
+                }
+                let Some(plan) = plan else {
+                    // Nothing needs service: everyone is provisioned to
+                    // departure. Jump to the earliest departure.
+                    self.order.clear();
+                    if let Some(d) = self.earliest_departure() {
+                        let next_arrival = arrivals.get(ai).map(|a| a.at);
+                        self.t = match next_arrival {
+                            Some(a) => a.min(d).max(self.t),
+                            None => d.max(self.t),
+                        };
+                    }
+                    continue;
+                };
+                let mut start = plan.start;
+                if start < self.t {
+                    start = self.t;
+                }
+                // Arrivals (and queued requests reaching their slot
+                // boundary) before the planned start are handled first so
+                // admission (and BubbleUp) can react.
+                let next_external = [
+                    arrivals.get(ai).map(|a| a.at),
+                    self.pending
+                        .front()
+                        .map(|p| p.eligible_at)
+                        .filter(|&e| e > self.t),
+                ]
+                .iter()
+                .flatten()
+                .copied()
+                .min();
+                if let Some(e) = next_external {
+                    if e < start {
+                        self.t = e.max(self.t);
+                        self.order.clear();
+                        continue;
+                    }
+                }
+                if std::env::var("VOD_DEBUG_CYCLE").is_ok() {
+                    let cr = self.cfg.params.cr();
+                    eprintln!(
+                        "CYCLE t={} start={} planned={} n={} due_min={:?} order={:?}",
+                        self.t,
+                        start,
+                        plan.start,
+                        self.streams.len(),
+                        self.earliest_due(),
+                        self.order
+                            .iter()
+                            .map(|id| {
+                                let st = &self.streams[id];
+                                (id.raw(), st.due_at(cr).map(|d| d.as_secs_f64()))
+                            })
+                            .collect::<Vec<_>>()
+                    );
+                }
+                self.t = start;
+                self.cycle_start = start;
+                self.cursor = 0;
+                self.cycle_active = true;
+                self.cycle_services = 0;
+                self.cycle_insertions_left = plan.insertion_budget;
+                self.mem.observe(self.t, self.cfg.params.cr().as_f64());
+                continue;
+            }
+
+            // ---- Mid-cycle: service the stream at the cursor ----
+            // BubbleUp admits after every service; GSS* at group
+            // boundaries; Sweep* only at period boundaries (handled at
+            // the cycle boundary above).
+            let timing = self.cfg.params.method.admission_timing();
+            if timing == AdmissionTiming::AfterCurrentService
+                || (timing == AdmissionTiming::NextGroup && self.at_group_boundary())
+            {
+                self.try_admissions();
+            }
+
+            let id = self.order[self.cursor];
+            self.cursor += 1;
+            if !self.streams.contains_key(&id) {
+                continue; // departed earlier in the cycle
+            }
+            if let Some(d) = self.streams[&id].departs_at() {
+                if d <= self.t {
+                    self.depart(id, d);
+                    continue;
+                }
+            }
+            self.service(id);
+        }
+
+        self.finalize()
+    }
+
+    /// Lazily places a video on the sampled drive the first time any
+    /// stream plays it (contiguous placement in id order, §2.1's layout).
+    fn ensure_placed(disk: &mut Disk, video: VideoId, cr: vod_types::BitRate, length: Seconds) {
+        if disk.layout().extent(video).is_none() {
+            let _ = disk.place_video(video, cr * length);
+        }
+    }
+
+    /// Records a consumption deficit as an underflow, ignoring float dust
+    /// (fills are capped to land *exactly* at zero level at departure, so
+    /// sub-byte negatives are rounding, not starvation).
+    fn note_deficit(&mut self, deficit: Bits) {
+        if deficit.as_f64() > 64.0 {
+            self.stats.underflows += 1;
+            self.stats.underflow_deficit += deficit;
+        }
+    }
+
+    // ---------- arrival / admission ----------
+
+    fn ingest(&mut self, a: &Arrival, next_id: &mut u64) {
+        let id = RequestId::new(*next_id);
+        *next_id += 1;
+        // Every arrival feeds the estimator, admitted or not.
+        match &mut self.scheme {
+            SchemeState::Dynamic(ctl) => ctl.note_arrival(a.at),
+            SchemeState::Naive(log) => log.record(a.at),
+            SchemeState::Static => {}
+        }
+        let n = self.streams.len() + self.pending.len();
+        // Immediate rejection rules (the paper's admission control at N,
+        // plus the memory reservation when a budget is set). Queued
+        // requests count: a request the disk can never absorb is rejected
+        // now, not parked for an hour.
+        if n >= self.cfg.params.max_requests() {
+            self.stats.rejected += 1;
+            return;
+        }
+        if !self.memory_admits(n + 1, a.at) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let grid = self.admission_grid().as_secs_f64().max(1e-9);
+        let next = (a.at.as_secs_f64() / grid).floor() + 1.0;
+        self.pending.push_back(Pending {
+            id,
+            video: a.video,
+            arrived: a.at,
+            viewing: a.viewing,
+            n_at_arrival: self.streams.len(),
+            eligible_at: Instant::from_secs(next * grid),
+            deferred_counted: false,
+        });
+    }
+
+    fn memory_admits(&mut self, prospective_n: usize, now: Instant) -> bool {
+        let Some(budget) = self.cfg.memory_budget else {
+            return true;
+        };
+        let period = self.period_estimate();
+        let needed = match &mut self.scheme {
+            SchemeState::Static => memory::min_memory_static(&self.cfg.params, prospective_n),
+            SchemeState::Naive(log) => {
+                let k = log.k_log(now, period) + self.cfg.params.alpha as usize;
+                let bs = self.sizer.size(prospective_n, k);
+                memory::min_memory_with(&self.cfg.params, bs, prospective_n, k)
+            }
+            SchemeState::Dynamic(ctl) => {
+                let (k, _) = ctl.estimate_k(now, period);
+                memory::min_memory_dynamic(&self.cfg.params, ctl.table(), prospective_n, k)
+            }
+        };
+        needed <= budget
+    }
+
+    fn try_admissions(&mut self) {
+        loop {
+            let Some(head) = self.pending.front().copied() else {
+                return;
+            };
+            if head.eligible_at > self.t {
+                return; // its slot boundary has not arrived yet (FIFO)
+            }
+            let mid_cycle = self.cycle_active && self.cursor < self.order.len();
+            if mid_cycle && self.cycle_insertions_left == 0 {
+                // The running cycle budgeted its start for a bounded
+                // number of insertions; more would starve tail refills.
+                // The request joins at the next cycle boundary.
+                return;
+            }
+            let n = self.streams.len();
+            if n >= self.cfg.params.max_requests() {
+                return; // wait for departures (deferred, not rejected)
+            }
+            let admitted = match &mut self.scheme {
+                SchemeState::Static | SchemeState::Naive(_) => true,
+                SchemeState::Dynamic(ctl) => {
+                    if ctl.can_admit() {
+                        ctl.admit(head.id).is_ok()
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !admitted {
+                // Deferred by Assumption 1: count once per request, keep
+                // FIFO order.
+                if let Some(front) = self.pending.front_mut() {
+                    if !front.deferred_counted {
+                        front.deferred_counted = true;
+                        self.stats.deferrals += 1;
+                    }
+                }
+                return;
+            }
+            self.pending.pop_front();
+            self.admit_stream(head);
+        }
+    }
+
+    /// The virtual service-grid granularity the admitted request must
+    /// align to: one stretched slot `Δ = DL + BS/TR` for Round-Robin
+    /// (BubbleUp services the newcomer after the slot in execution), a
+    /// full period `n·Δ` for Sweep\*, and a group `g·Δ` for GSS\*. This
+    /// is the Fixed-Stretch slot structure the paper's Eqs. 2–4 assume;
+    /// without it an idle server would admit every newcomer with bare-DL
+    /// latency regardless of the buffer size, flattening Fig. 11.
+    fn admission_grid(&self) -> Seconds {
+        let n = self.streams.len().max(1);
+        let dl = self
+            .cfg
+            .params
+            .method
+            .worst_disk_latency(&self.cfg.params.disk, n);
+        let size = match self.cfg.scheme {
+            SchemeKind::Static | SchemeKind::StaticMaxUse => self.sizer.max_size(),
+            _ => self
+                .sizer
+                .size(n, self.last_k.max(self.cfg.params.alpha as usize)),
+        };
+        let delta = dl + size / self.cfg.params.tr();
+        match self.cfg.params.method.admission_timing() {
+            AdmissionTiming::AfterCurrentService => delta,
+            AdmissionTiming::NextPeriod => delta * n as f64,
+            AdmissionTiming::NextGroup => {
+                delta * self.cfg.params.method.effective_group_size(n) as f64
+            }
+        }
+    }
+
+    fn admit_stream(&mut self, p: Pending) {
+        let mut stream = Stream::new(p.id, p.video, p.arrived, p.viewing);
+        stream.n_at_arrival = p.n_at_arrival;
+        stream.eligible_at = p.eligible_at.max(self.t);
+        self.streams.insert(p.id, stream);
+        self.stats.admitted += 1;
+        self.conc_events.push((self.t, 1));
+        // BubbleUp: service the newcomer right after the current service
+        // AND keep it at that ring position (base_order is the ring).
+        // GSS*: join at the next group boundary, persistently.
+        // Sweep*: next cycle (appended; the position sort places it).
+        match self.cfg.params.method.admission_timing() {
+            AdmissionTiming::AfterCurrentService => {
+                if self.cursor < self.order.len() {
+                    self.cycle_insertions_left = self.cycle_insertions_left.saturating_sub(1);
+                    // The ring slot just before the stream serviced next.
+                    let anchor = self.order[self.cursor];
+                    let ring_pos = self
+                        .base_order
+                        .iter()
+                        .position(|&x| x == anchor)
+                        .unwrap_or(self.base_order.len());
+                    self.base_order.insert(ring_pos, p.id);
+                    self.order.insert(self.cursor, p.id);
+                } else {
+                    self.base_order.push(p.id);
+                }
+            }
+            AdmissionTiming::NextGroup => {
+                if self.cursor < self.order.len() {
+                    self.cycle_insertions_left = self.cycle_insertions_left.saturating_sub(1);
+                    let g = self
+                        .cfg
+                        .params
+                        .method
+                        .effective_group_size(self.streams.len());
+                    let boundary = (self.cursor).div_ceil(g) * g;
+                    let at = boundary.min(self.order.len());
+                    // Membership order mirrors the cycle's chunk layout,
+                    // so the same index keeps groups consistent.
+                    let base_at = at.min(self.base_order.len());
+                    self.base_order.insert(base_at, p.id);
+                    self.order.insert(at, p.id);
+                } else {
+                    self.base_order.push(p.id);
+                }
+            }
+            AdmissionTiming::NextPeriod => {
+                self.base_order.push(p.id);
+            }
+        }
+    }
+
+    // ---------- service ----------
+
+    fn service(&mut self, id: RequestId) {
+        let cr = self.cfg.params.cr();
+        let crf = cr.as_f64();
+        let n_active = self.streams.len();
+        let now = self.t;
+
+        // Allocation: compute (n_c, k_c) per scheme.
+        let period = self.period_estimate();
+        let (n_c, k_c, audit) = match &mut self.scheme {
+            SchemeState::Static => (self.cfg.params.max_requests(), 0, false),
+            SchemeState::Naive(log) => {
+                let k = log.k_log(now, period) + self.cfg.params.alpha as usize;
+                (n_active, k, true)
+            }
+            SchemeState::Dynamic(ctl) => {
+                let alloc = ctl
+                    .allocate(id, now, period)
+                    .expect("serviced streams are admitted");
+                (alloc.n, alloc.k, true)
+            }
+        };
+        self.last_k = k_c;
+
+        let mut size = match self.cfg.scheme {
+            SchemeKind::Static | SchemeKind::StaticMaxUse => self.sizer.max_size(),
+            _ => self.sizer.size(n_c, k_c),
+        };
+        // StaticMaxUse: spread unused budget over in-service streams.
+        if self.cfg.scheme == SchemeKind::StaticMaxUse {
+            if let Some(budget) = self.cfg.memory_budget {
+                let reserved = memory::min_memory_static(&self.cfg.params, n_active);
+                let spare = (budget - reserved).clamp_non_negative();
+                let extra = (spare / n_active.max(1) as f64).min(self.sizer.max_size());
+                size += extra;
+            }
+        }
+
+        // Data starts flowing once the seek completes; from then on the
+        // transfer feeds the stream at TR ≫ CR, so the buffer only has to
+        // cover consumption up to the end of the seek (the same seek-phase
+        // accounting behind Theorem 2's `+ n·CR·DL` term and the `2·DL`
+        // of Eq. 2). We model the fill as landing at the seek's end.
+        //
+        // Worst-case mode charges the per-method DL the sizing assumes;
+        // sampled mode moves the real head over the on-disk layout and
+        // draws the rotational delay, so services usually complete early
+        // (the buffers stay sized for the worst case).
+        let dl = match self.sampled_disk.as_deref_mut() {
+            None => self
+                .cfg
+                .params
+                .method
+                .worst_disk_latency(&self.cfg.params.disk, n_active),
+            Some(disk) => {
+                let stream = &self.streams[&id];
+                Self::ensure_placed(
+                    disk,
+                    stream.video,
+                    self.cfg.params.cr(),
+                    self.cfg.video_length,
+                );
+                let rotation: f64 = self.rng.gen();
+                disk.read(stream.video, stream.consumed, Bits::ZERO, rotation)
+                    .map(|o| o.latency())
+                    .unwrap_or_else(|_| {
+                        self.cfg
+                            .params
+                            .method
+                            .worst_disk_latency(&self.cfg.params.disk, n_active)
+                    })
+            }
+        };
+        let t_data = now + dl;
+
+        let stream = self.streams.get_mut(&id).expect("caller checked presence");
+        let started = stream.viewing_started();
+        let old_time = stream.level_at_time();
+        let upd = stream.advance_to(t_data, cr);
+        if started {
+            self.mem.on_materialize(old_time, t_data, upd.consumed);
+        }
+        if upd.deficit.as_f64() > 64.0 {
+            if std::env::var("VOD_DEBUG_UNDERFLOW").is_ok() {
+                eprintln!(
+                    "UF t={} id={} n={} deficit={} old_time={}",
+                    t_data, id, n_active, upd.deficit, old_time
+                );
+            }
+            self.stats.underflows += 1;
+            self.stats.underflow_deficit += upd.deficit;
+        }
+
+        let mut read = (size - stream.level()).clamp_non_negative();
+        let demand_cap = match stream.remaining_demand(t_data, cr) {
+            Some(rem) => (rem - stream.level()).clamp_non_negative(),
+            // First fill: the stream will watch `viewing` long.
+            None => cr * stream.viewing,
+        };
+        read = read.min(demand_cap);
+        if !started {
+            // Even a vanishingly short viewing gets a (tiny) first fill,
+            // so every admitted stream starts and eventually departs.
+            read = read.max(Bits::new(8.0));
+        }
+
+        if read.as_f64() <= 0.0 {
+            // Over-provisioned (the allocation shrank below the current
+            // level): genuinely nothing to read. Every other stream is
+            // refilled every cycle, as the paper's service model requires —
+            // the usage-period budgets are equality-tight, so a deferred
+            // top-up would push later refills past their dues.
+            return;
+        }
+
+        let t_done = t_data + read / self.cfg.params.tr();
+
+        stream.fill(t_data, read);
+        if !started {
+            self.departures
+                .push(Reverse((t_data + stream.viewing, id.raw())));
+            self.mem.on_first_fill(t_data);
+            // Initial latency ends when the first data reaches memory —
+            // the end of the seek, as in Eq. 2's derivation.
+            let latency = t_data - stream.arrived;
+            self.stats.il_samples.push(IlSample {
+                arrived: stream.arrived,
+                n_at_arrival: stream.n_at_arrival,
+                latency,
+            });
+        }
+        self.mem.on_fill(read);
+        // Consumption during the transfer cannot underflow (TR > CR and
+        // the data is already booked); just materialize it.
+        let upd = stream.advance_to(t_done, cr);
+        self.mem.on_materialize(t_data, t_done, upd.consumed);
+        self.mem.observe(t_done, crf);
+
+        if audit {
+            let slot = dl + size / self.cfg.params.tr();
+            self.stats.audits.push(AuditRecord {
+                at: now,
+                window: slot * (n_c + k_c) as f64,
+                k_estimated: k_c,
+            });
+        }
+
+        if std::env::var("VOD_DEBUG_SVC").is_ok() {
+            eprintln!(
+                "SVC t={} id={} n={} k={} read={} size={}",
+                t_done, id, n_c, k_c, read, size
+            );
+        }
+        self.stats.services += 1;
+        self.cycle_services += 1;
+        self.t = t_done;
+    }
+
+    // ---------- cycle planning ----------
+
+    /// Rebuilds the next cycle's service order.
+    ///
+    /// Round-Robin keeps a **persistent ring**: a newcomer bubbled in at
+    /// the cursor stays at that ring position forever, so the gap between
+    /// its consecutive services is exactly one ring pass — the usage
+    /// period its buffer was sized for. (Rebuilding from admission order
+    /// would let a bubbled-up stream fall back ~a full extra period and
+    /// underflow.)
+    ///
+    /// Sweep\*/GSS\* re-sort by play position **ascending only** (a
+    /// C-SCAN-style one-directional sweep): since all streams advance at
+    /// the same `CR`, ranks are stable across periods, keeping each
+    /// stream's inter-service gap at one period. An alternating elevator
+    /// would flip ranks every pass (first → last), doubling the gap and
+    /// violating the sizing budget.
+    fn rebuild_order(&mut self) {
+        match self.cfg.params.method {
+            SchedulingMethod::RoundRobin => {
+                // `base_order` is the ring itself.
+                self.base_order.retain(|id| self.streams.contains_key(id));
+                self.order.clear();
+                self.order.extend(self.base_order.iter().copied());
+            }
+            SchedulingMethod::Sweep => {
+                self.base_order.retain(|id| self.streams.contains_key(id));
+                self.order.clear();
+                self.order.extend(self.base_order.iter().copied());
+                self.sort_by_position(0, self.order.len());
+            }
+            SchedulingMethod::Gss { .. } => {
+                // Groups are consecutive chunks of the membership order;
+                // each chunk is swept internally.
+                self.base_order.retain(|id| self.streams.contains_key(id));
+                self.order.clear();
+                self.order.extend(self.base_order.iter().copied());
+                let g = self
+                    .cfg
+                    .params
+                    .method
+                    .effective_group_size(self.order.len());
+                let len = self.order.len();
+                let mut i = 0;
+                while i < len {
+                    let end = (i + g).min(len);
+                    self.sort_by_position(i, end);
+                    i = end;
+                }
+            }
+        }
+        self.cursor = self.order.len(); // caller sets 0 when the cycle starts
+    }
+
+    fn sort_by_position(&mut self, from: usize, to: usize) {
+        let keys: HashMap<RequestId, f64> = self.order[from..to]
+            .iter()
+            .map(|id| (*id, self.position_key(*id)))
+            .collect();
+        self.order[from..to].sort_by(|a, b| {
+            keys[a]
+                .partial_cmp(&keys[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// A monotone proxy for the on-disk cylinder of the stream's play
+    /// point: videos are laid out contiguously in id order, and the play
+    /// point advances with consumption.
+    fn position_key(&self, id: RequestId) -> f64 {
+        let s = &self.streams[&id];
+        let video_size = self.cfg.params.cr() * self.cfg.video_length;
+        let frac = (s.consumed / video_size).clamp(0.0, 1.0);
+        s.video.raw() as f64 + frac
+    }
+}
+
+/// The planner's verdict for the next service cycle.
+#[derive(Clone, Copy, Debug)]
+struct CyclePlan {
+    /// Latest provably safe start: every stream (plus the admissible
+    /// insertions) completes before any buffer drains.
+    start: Instant,
+    /// Idle target after a no-op cycle: one slot before the earliest due.
+    fallback: Instant,
+    /// How many mid-cycle (BubbleUp / next-group) insertions the start
+    /// time budgeted for. Admitting more would push tail refills past
+    /// their dues, so `try_admissions` defers the excess to the next
+    /// cycle.
+    insertion_budget: usize,
+}
+
+impl DiskEngine {
+    /// When must the next cycle start so every stream's refill completes
+    /// before its buffer drains — *even if* the admission-control bound's
+    /// worth of new requests bubbles into the cycle? `None` when nobody
+    /// needs service.
+    ///
+    /// The latest provably safe start is `earliest_due − (n + h)·slot`,
+    /// where `h` is the admissible-insertion headroom and `slot` bounds
+    /// every service in the cycle (next-generation buffer sizes — this is
+    /// exactly the budget Theorem 1's sizing guarantees). The static
+    /// scheme's headroom is `N − n` (its buffers are sized for the
+    /// full-load period, i.e. the Fixed-Stretch cadence); the naive
+    /// scheme's is only its own estimate, which is precisely the Fig. 3
+    /// flaw — when the load grows faster, its streams underflow.
+    fn plan_cycle_start(&self) -> Option<CyclePlan> {
+        let cr = self.cfg.params.cr();
+        let tr = self.cfg.params.tr();
+        let n = self.streams.len();
+        let big_n = self.cfg.params.max_requests();
+        let alpha = self.cfg.params.alpha as usize;
+        let dl = self
+            .cfg
+            .params
+            .method
+            .worst_disk_latency(&self.cfg.params.disk, n);
+
+        let mut dues: Vec<Option<Instant>> = Vec::with_capacity(self.order.len());
+        let mut earliest: Option<Instant> = None;
+        let mut eligible: Option<Instant> = None;
+        for id in &self.order {
+            let s = &self.streams[id];
+            if !s.viewing_started() {
+                // An admitted newcomer (its boundary already passed):
+                // service it right away.
+                eligible = Some(match eligible {
+                    Some(c) => c.min(self.t),
+                    None => self.t,
+                });
+                dues.push(None);
+                continue;
+            }
+            let due = s.due_at(cr);
+            if let Some(d) = due {
+                earliest = Some(match earliest {
+                    Some(c) => c.min(d),
+                    None => d,
+                });
+            }
+            dues.push(due);
+        }
+        let Some(earliest) = earliest else {
+            // No refills pending; a waiting newcomer still forces a cycle
+            // at its boundary. With no dues to protect, insertions are
+            // unconstrained.
+            return eligible.map(|e| CyclePlan {
+                start: e,
+                fallback: e,
+                insertion_budget: usize::MAX,
+            });
+        };
+
+        let (headroom, size_bound) = match (&self.scheme, self.cfg.scheme) {
+            (SchemeState::Dynamic(ctl), _) => {
+                let h = ctl.admission_bound().saturating_sub(n);
+                let k_next = (self.last_k + alpha).min(big_n);
+                (
+                    (n + h).min(big_n),
+                    self.sizer.size((n + h).min(big_n), k_next),
+                )
+            }
+            (SchemeState::Naive(_), _) => {
+                let k = self.last_k.max(alpha);
+                ((n + k).min(big_n), self.sizer.size(n, k))
+            }
+            // StaticMaxUse may inflate buffers up to 2×BS(N) (see
+            // `service`), so its slot bound doubles.
+            (SchemeState::Static, SchemeKind::StaticMaxUse) => (big_n, self.sizer.max_size() * 2.0),
+            (SchemeState::Static, _) => (big_n, self.sizer.max_size()),
+        };
+        let h = headroom.saturating_sub(n);
+        let slot = dl + size_bound / tr;
+        // The stream at service position p completes no later than
+        // `start + (p + inserted)·slot` with `inserted ≤ h`; it must be
+        // refilled by its own due. Take the tightest constraint.
+        let mut start: Option<Instant> = None;
+        let mut fallback: Option<Instant> = None;
+        for (idx, due) in dues.iter().enumerate() {
+            let Some(due) = due else { continue };
+            let latest = *due - slot * (idx + 1 + h) as f64;
+            start = Some(match start {
+                Some(c) => c.min(latest),
+                None => latest,
+            });
+            // A top-up only becomes non-empty once the level falls below
+            // the (possibly shrunken) current allocation — that is
+            // `due − size/CR` — and should start no later than one slot
+            // before the due. The max of the two is this stream's
+            // earliest *useful* service time.
+            let id = self.order[idx];
+            let sz = {
+                let s_ref = &self.streams[&id];
+                let k = self.last_k.max(self.cfg.params.alpha as usize);
+                match self.cfg.scheme {
+                    SchemeKind::Static | SchemeKind::StaticMaxUse => self.sizer.max_size(),
+                    _ => self.sizer.size(n, k),
+                }
+                .min(
+                    s_ref
+                        .remaining_demand(self.t, cr)
+                        .unwrap_or(self.sizer.max_size()),
+                )
+            };
+            let useful = (*due - sz / cr + Seconds::from_millis(1.0)).max(*due - slot);
+            fallback = Some(match fallback {
+                Some(c) => c.min(useful),
+                None => useful,
+            });
+        }
+        let _ = earliest;
+        let mut start = start.expect("at least one due exists");
+        let mut fb = fallback.expect("at least one due exists");
+        if let Some(e) = eligible {
+            start = start.min(e);
+            fb = fb.min(e);
+        }
+        Some(CyclePlan {
+            start,
+            fallback: fb,
+            insertion_budget: h,
+        })
+    }
+
+    fn at_group_boundary(&self) -> bool {
+        let g = self
+            .cfg
+            .params
+            .method
+            .effective_group_size(self.streams.len());
+        g > 0 && self.cursor.is_multiple_of(g)
+    }
+
+    /// The *model* service period at the current load: the usage period
+    /// `(n + k)·(DL + BS_k(n)/TR)` that the paper's `k_log` window refers
+    /// to. (Using the measured cycle duration instead creates a feedback
+    /// loop: catch-up cycles run long, which widens the window, which
+    /// raises `k_log`, which grows the buffers, which lengthens cycles.)
+    fn period_estimate(&self) -> Seconds {
+        let n = self.streams.len().max(1);
+        let k = self.last_k.max(self.cfg.params.alpha as usize);
+        let dl = self
+            .cfg
+            .params
+            .method
+            .worst_disk_latency(&self.cfg.params.disk, n);
+        let slot = dl + self.sizer.size(n, k) / self.cfg.params.tr();
+        slot * (n + k) as f64
+    }
+
+    // ---------- departures ----------
+
+    fn earliest_departure(&self) -> Option<Instant> {
+        self.departures.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// The earliest time any stream's buffer drains to zero.
+    fn earliest_due(&self) -> Option<Instant> {
+        let cr = self.cfg.params.cr();
+        self.streams.values().filter_map(|s| s.due_at(cr)).min()
+    }
+
+    fn process_due_departures(&mut self) {
+        while let Some(&Reverse((at, raw))) = self.departures.peek() {
+            if at > self.t {
+                break;
+            }
+            self.departures.pop();
+            let id = RequestId::new(raw);
+            // Entries outlive their stream only if it already departed
+            // through another path; `depart` is a no-op then.
+            self.depart(id, at);
+        }
+    }
+
+    fn depart(&mut self, id: RequestId, at: Instant) {
+        let cr = self.cfg.params.cr();
+        let Some(mut s) = self.streams.remove(&id) else {
+            return;
+        };
+        let started = s.viewing_started();
+        let old_time = s.level_at_time();
+        let upd = s.advance_to(at, cr);
+        if started {
+            self.mem
+                .on_materialize(old_time, s.level_at_time(), upd.consumed);
+        }
+        self.note_deficit(upd.deficit);
+        if started {
+            self.mem.on_depart(s.level(), s.level_at_time());
+        }
+        self.conc_events.push((at, -1));
+        if let SchemeState::Dynamic(ctl) = &mut self.scheme {
+            let _ = ctl.depart(id);
+        }
+    }
+
+    // ---------- finish ----------
+
+    fn finalize(mut self) -> DiskRunStats {
+        self.conc_events.sort_by_key(|a| a.0);
+        let mut n = 0i64;
+        let mut series = Vec::with_capacity(self.conc_events.len());
+        for (t, delta) in self.conc_events.drain(..) {
+            n += i64::from(delta);
+            series.push((t, n.max(0) as usize));
+        }
+        self.stats.concurrency = series;
+        self.stats.peak_memory = Bits::new(self.mem.peak);
+        self.stats.finished_at = self.t;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::DiskId;
+
+    fn arrival(at_secs: f64, viewing_secs: f64) -> Arrival {
+        Arrival {
+            at: Instant::from_secs(at_secs),
+            disk: DiskId::new(0),
+            video: VideoId::new(0),
+            viewing: Seconds::from_secs(viewing_secs),
+        }
+    }
+
+    fn run(scheme: SchemeKind, method: SchedulingMethod, arrivals: &[Arrival]) -> DiskRunStats {
+        let cfg = EngineConfig::paper(method, scheme);
+        let engine = DiskEngine::new(cfg).expect("valid config");
+        engine.run(arrivals)
+    }
+
+    #[test]
+    fn single_request_is_serviced_and_departs() {
+        let stats = run(
+            SchemeKind::Dynamic,
+            SchedulingMethod::RoundRobin,
+            &[arrival(10.0, 60.0)],
+        );
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.underflows, 0);
+        assert_eq!(stats.il_samples.len(), 1);
+        let il = stats.il_samples[0].latency;
+        assert!(il > Seconds::ZERO);
+        assert!(
+            il < Seconds::from_secs(1.0),
+            "IL {il} too large for an idle disk"
+        );
+        assert!(stats.services >= 1);
+        assert_eq!(stats.max_concurrent(), 1);
+        // Viewing 60 s from first data: the run ends a bit after t = 70 s.
+        assert!(stats.finished_at.as_secs_f64() >= 69.9);
+    }
+
+    #[test]
+    fn static_scheme_has_larger_first_fill_latency() {
+        let trace = [arrival(5.0, 120.0)];
+        let dynamic = run(SchemeKind::Dynamic, SchedulingMethod::RoundRobin, &trace);
+        let static_ = run(SchemeKind::Static, SchedulingMethod::RoundRobin, &trace);
+        let il_d = dynamic.il_samples[0].latency;
+        let il_s = static_.il_samples[0].latency;
+        assert!(
+            il_s > il_d * 2.0,
+            "static {il_s} should dwarf dynamic {il_d}"
+        );
+    }
+
+    #[test]
+    fn no_underflow_for_dynamic_and_static_under_burst() {
+        // A burst of 30 arrivals in 10 s, all watching 5 minutes.
+        let trace: Vec<Arrival> = (0..30)
+            .map(|i| arrival(10.0 + f64::from(i) * 0.33, 300.0))
+            .collect();
+        for method in SchedulingMethod::paper_methods() {
+            for scheme in [SchemeKind::Dynamic, SchemeKind::Static] {
+                let stats = run(scheme, method, &trace);
+                assert_eq!(stats.underflows, 0, "{scheme} under {method}: underflows");
+                assert_eq!(stats.admitted + stats.rejected, 30, "{scheme} {method}");
+                assert!(stats.admitted > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_uses_less_memory_than_static() {
+        let trace: Vec<Arrival> = (0..10)
+            .map(|i| arrival(f64::from(i) * 5.0, 600.0))
+            .collect();
+        let dynamic = run(SchemeKind::Dynamic, SchedulingMethod::RoundRobin, &trace);
+        let static_ = run(SchemeKind::Static, SchedulingMethod::RoundRobin, &trace);
+        assert!(
+            dynamic.peak_memory.as_f64() < 0.5 * static_.peak_memory.as_f64(),
+            "dynamic {} vs static {}",
+            dynamic.peak_memory,
+            static_.peak_memory
+        );
+    }
+
+    #[test]
+    fn rejects_past_disk_capacity() {
+        // 100 simultaneous eternal viewers on a 79-stream disk.
+        let trace: Vec<Arrival> = (0..100)
+            .map(|i| arrival(1.0 + f64::from(i) * 1e-3, 3000.0))
+            .collect();
+        let stats = run(SchemeKind::Static, SchedulingMethod::RoundRobin, &trace);
+        assert!(stats.admitted <= 79);
+        assert!(stats.rejected >= 21);
+        assert!(stats.max_concurrent() <= 79);
+        assert_eq!(stats.underflows, 0);
+    }
+
+    #[test]
+    fn dynamic_defers_bursts_instead_of_underflowing() {
+        // 40 arrivals in half a second: Assumption 1 must defer most.
+        let trace: Vec<Arrival> = (0..40)
+            .map(|i| arrival(1.0 + f64::from(i) * 0.01, 120.0))
+            .collect();
+        let stats = run(SchemeKind::Dynamic, SchedulingMethod::RoundRobin, &trace);
+        eprintln!(
+            "PROBE underflows={} deficit={} deferrals={} admitted={} rejected={}",
+            stats.underflows,
+            stats.underflow_deficit,
+            stats.deferrals,
+            stats.admitted,
+            stats.rejected
+        );
+        assert_eq!(stats.underflows, 0);
+        assert!(stats.deferrals > 0, "burst must trigger deferrals");
+        assert_eq!(
+            stats.admitted, 40,
+            "deferred requests are eventually admitted"
+        );
+    }
+
+    #[test]
+    fn memory_budget_rejects_when_exhausted() {
+        let cfg = EngineConfig {
+            memory_budget: Some(Bits::from_mebibytes(40.0)),
+            ..EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Static)
+        };
+        // Static needs ~27 MiB per stream at the margin: 40 MiB admits 1.
+        let trace: Vec<Arrival> = (0..5).map(|i| arrival(1.0 + f64::from(i), 300.0)).collect();
+        let stats = DiskEngine::new(cfg).expect("valid").run(&trace);
+        assert!(stats.admitted <= 2, "admitted {}", stats.admitted);
+        assert!(stats.rejected >= 3);
+    }
+
+    #[test]
+    fn dynamic_fits_more_streams_in_the_same_budget() {
+        let budget = Bits::from_mebibytes(60.0);
+        let trace: Vec<Arrival> = (0..20)
+            .map(|i| arrival(1.0 + f64::from(i) * 2.0, 600.0))
+            .collect();
+        let mk = |scheme| {
+            let cfg = EngineConfig {
+                memory_budget: Some(budget),
+                ..EngineConfig::paper(SchedulingMethod::RoundRobin, scheme)
+            };
+            DiskEngine::new(cfg).expect("valid").run(&trace)
+        };
+        let dynamic = mk(SchemeKind::Dynamic);
+        let static_ = mk(SchemeKind::Static);
+        assert!(
+            dynamic.max_concurrent() > static_.max_concurrent(),
+            "dynamic {} vs static {}",
+            dynamic.max_concurrent(),
+            static_.max_concurrent()
+        );
+    }
+
+    #[test]
+    fn audits_are_recorded_for_estimating_schemes() {
+        let trace: Vec<Arrival> = (0..5)
+            .map(|i| arrival(1.0 + f64::from(i) * 3.0, 60.0))
+            .collect();
+        let dynamic = run(SchemeKind::Dynamic, SchedulingMethod::RoundRobin, &trace);
+        assert!(!dynamic.audits.is_empty());
+        let static_ = run(SchemeKind::Static, SchedulingMethod::RoundRobin, &trace);
+        assert!(static_.audits.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_is_a_clean_noop() {
+        let stats = run(SchemeKind::Dynamic, SchedulingMethod::Sweep, &[]);
+        assert_eq!(stats.admitted, 0);
+        assert_eq!(stats.services, 0);
+        assert_eq!(stats.max_concurrent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_trace_panics() {
+        let trace = [arrival(10.0, 5.0), arrival(1.0, 5.0)];
+        let _ = run(SchemeKind::Static, SchedulingMethod::RoundRobin, &trace);
+    }
+
+    #[test]
+    fn all_methods_service_a_small_town() {
+        let trace: Vec<Arrival> = (0..12)
+            .map(|i| arrival(f64::from(i) * 7.0, 200.0 + f64::from(i % 5) * 40.0))
+            .collect();
+        for method in SchedulingMethod::paper_methods() {
+            let stats = run(SchemeKind::Dynamic, method, &trace);
+            assert_eq!(stats.admitted, 12, "{method}");
+            assert_eq!(stats.underflows, 0, "{method}");
+            assert_eq!(stats.il_samples.len(), 12, "{method}");
+        }
+    }
+
+    #[test]
+    fn sampled_latency_mode_is_faster_and_still_clean() {
+        let trace: Vec<Arrival> = (0..20)
+            .map(|i| arrival(f64::from(i) * 5.0, 400.0))
+            .collect();
+        let worst = run(SchemeKind::Dynamic, SchedulingMethod::Sweep, &trace);
+        let mut cfg = EngineConfig::paper(SchedulingMethod::Sweep, SchemeKind::Dynamic);
+        cfg.latency_model = vod_disk::LatencyModel::Sampled;
+        let sampled = DiskEngine::new(cfg).expect("valid").run(&trace);
+        assert_eq!(sampled.underflows, 0, "early completions cannot starve");
+        assert_eq!(sampled.admitted, worst.admitted);
+        // Actual seeks are far below the worst case, so the sampled run
+        // spends less simulated time per service; latencies shrink.
+        let w = worst.mean_latency().expect("samples").as_secs_f64();
+        let s = sampled.mean_latency().expect("samples").as_secs_f64();
+        assert!(s <= w * 1.05, "sampled {s} vs worst-case {w}");
+    }
+
+    #[test]
+    fn sampled_latency_is_deterministic_per_seed() {
+        let trace: Vec<Arrival> = (0..8).map(|i| arrival(f64::from(i) * 4.0, 120.0)).collect();
+        let mk = |seed| {
+            let mut cfg = EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Dynamic);
+            cfg.latency_model = vod_disk::LatencyModel::Sampled;
+            cfg.latency_seed = seed;
+            DiskEngine::new(cfg).expect("valid").run(&trace)
+        };
+        let a = mk(7);
+        let b = mk(7);
+        let c = mk(8);
+        assert_eq!(a.il_samples, b.il_samples);
+        // A different rotation draw perturbs the timings.
+        assert_ne!(
+            a.il_samples, c.il_samples,
+            "different seeds should differ (rotation draws)"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace: Vec<Arrival> = (0..8).map(|i| arrival(f64::from(i) * 4.0, 100.0)).collect();
+        let a = run(SchemeKind::Dynamic, SchedulingMethod::GSS_PAPER, &trace);
+        let b = run(SchemeKind::Dynamic, SchedulingMethod::GSS_PAPER, &trace);
+        assert_eq!(a.services, b.services);
+        assert_eq!(a.il_samples, b.il_samples);
+        assert_eq!(a.peak_memory, b.peak_memory);
+    }
+}

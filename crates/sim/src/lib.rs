@@ -1,0 +1,49 @@
+//! Discrete-event VOD server simulation.
+//!
+//! Two simulators reproduce the paper's evaluation (§5):
+//!
+//! * [`engine::DiskEngine`] — a **buffer-level, single-disk** simulator:
+//!   it runs the actual service loop (cycle planning, per-method service
+//!   order, BubbleUp insertion, admission control, buffer fills and
+//!   use-it-and-toss-it consumption through a real [`vod_buffer`] pool)
+//!   and measures initial latency, estimation success, memory occupancy,
+//!   deferrals, and — crucially — **buffer underflows**, the invariant the
+//!   predict-and-enforce strategy must never violate. Figures 6, 7, 8,
+//!   and 11 come from this engine.
+//! * [`capacity::CapacitySim`] — an **admission-level, multi-disk**
+//!   simulator for the capacity experiments (Fig. 14, Table 5): requests
+//!   arrive per the Zipf disk-load model and are admitted against a
+//!   shared memory budget using the minimum-memory theorems as the
+//!   reservation rule, exactly the quantity the paper's Fig. 13 analysis
+//!   uses. (Cross-disk coupling is *only* through memory, so the
+//!   buffer-level engine is not needed here; see DESIGN.md.)
+//!
+//! Both are deterministic given a [`vod_workload::Workload`] trace, so
+//! every scheme/method combination replays identical arrivals.
+//!
+//! # The service model
+//!
+//! The engine services streams in *cycles* (the paper's service periods).
+//! Within a cycle the server fills each roster buffer back-to-back; across
+//! cycles it idles just long enough that every stream's refill completes
+//! by the time its buffer drains (just-in-time scheduling, the behaviour
+//! the Fixed-Stretch/Sweep\*/GSS\* family approximates). Fills *top up* to
+//! the allocated size, so a stream's occupancy never exceeds its
+//! allocation and released memory is immediately reusable — the
+//! use-it-and-toss-it policy of §2.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod capacity;
+pub mod engine;
+pub mod metrics;
+pub mod runner;
+pub mod stream;
+
+pub use audit::{evaluate_audits, AuditOutcome};
+pub use capacity::{CapacityConfig, CapacityResult, CapacitySim};
+pub use engine::{DiskEngine, EngineConfig};
+pub use metrics::{DiskRunStats, IlSample};
+pub use runner::{run_latency_experiment, run_multi_disk, LatencyExperiment, LatencyResult};

@@ -1,0 +1,222 @@
+//! Multi-seed experiment runners.
+//!
+//! The paper runs each simulation five times with different seeds to tame
+//! noise (§5.2). [`run_latency_experiment`] reproduces that: it generates
+//! one workload per seed, replays each against the configured engine on
+//! its own thread, and merges the measurements.
+
+use vod_core::SchemeKind;
+use vod_sched::SchedulingMethod;
+use vod_types::{ConfigError, Instant};
+use vod_workload::{generate, WorkloadConfig};
+
+use crate::audit::{evaluate_audits, AuditOutcome};
+use crate::engine::{DiskEngine, EngineConfig};
+use crate::metrics::DiskRunStats;
+
+/// One latency experiment: a scheme × method × workload-skew cell of
+/// Fig. 11 (and the source of Figs. 6–8).
+#[derive(Clone, Debug)]
+pub struct LatencyExperiment {
+    /// Engine configuration (method, scheme, `T_log`, memory).
+    pub engine: EngineConfig,
+    /// Workload configuration (single-disk).
+    pub workload: WorkloadConfig,
+    /// Seeds; the paper uses five.
+    pub seeds: Vec<u64>,
+}
+
+impl LatencyExperiment {
+    /// The paper's standard cell: single disk, 24-hour Zipf(θ) profile,
+    /// five seeds.
+    #[must_use]
+    pub fn paper(
+        method: SchedulingMethod,
+        scheme: SchemeKind,
+        theta: f64,
+        expected_arrivals: f64,
+    ) -> Self {
+        LatencyExperiment {
+            engine: EngineConfig::paper(method, scheme),
+            workload: WorkloadConfig::paper_single_disk(theta, expected_arrivals),
+            seeds: vec![1, 2, 3, 4, 5],
+        }
+    }
+}
+
+/// Merged results of a latency experiment.
+#[derive(Clone, Debug)]
+pub struct LatencyResult {
+    /// All seeds' measurements merged (latency samples concatenated).
+    pub stats: DiskRunStats,
+    /// Estimator audit aggregated across seeds.
+    pub audit: AuditOutcome,
+    /// Number of seeds run.
+    pub seeds: usize,
+}
+
+/// Runs the experiment, one thread per seed.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the engine or workload configuration is
+/// invalid (checked before any thread spawns).
+pub fn run_latency_experiment(exp: &LatencyExperiment) -> Result<LatencyResult, ConfigError> {
+    exp.workload.validate()?;
+    // Engine::new validates; build one up-front to fail fast.
+    drop(DiskEngine::new(exp.engine.clone())?);
+
+    let results: Vec<(DiskRunStats, AuditOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = exp
+            .seeds
+            .iter()
+            .map(|&seed| {
+                let engine_cfg = exp.engine.clone();
+                let wl_cfg = exp.workload.clone();
+                scope.spawn(move || {
+                    let workload =
+                        generate(&wl_cfg, seed).expect("workload config validated above");
+                    let engine =
+                        DiskEngine::new(engine_cfg).expect("engine config validated above");
+                    let stats = engine.run(&workload.arrivals);
+                    let times: Vec<Instant> = workload.arrivals.iter().map(|a| a.at).collect();
+                    let audit = evaluate_audits(&stats.audits, &times);
+                    (stats, audit)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed thread panicked"))
+            .collect()
+    });
+
+    let seeds = results.len();
+    let mut merged = DiskRunStats::default();
+    let mut est = 0.0;
+    let mut act = 0.0;
+    let mut succ = 0.0;
+    let mut samples = 0usize;
+    for (stats, audit) in results {
+        // Weight per-seed audit means by their sample counts.
+        est += audit.mean_estimated * audit.samples as f64;
+        act += audit.mean_actual * audit.samples as f64;
+        succ += audit.success_probability * audit.samples as f64;
+        samples += audit.samples;
+        merged.absorb(stats);
+    }
+    let audit = if samples == 0 {
+        AuditOutcome::default()
+    } else {
+        AuditOutcome {
+            samples,
+            mean_estimated: est / samples as f64,
+            mean_actual: act / samples as f64,
+            success_probability: succ / samples as f64,
+        }
+    };
+    Ok(LatencyResult {
+        stats: merged,
+        audit,
+        seeds,
+    })
+}
+
+/// Runs the buffer-level engine on every disk of a multi-disk workload —
+/// one engine (and thread) per disk, since disks only interact through
+/// memory, which the unbounded latency experiments do not constrain.
+/// Returns per-disk stats indexed by disk id.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the engine configuration is invalid.
+pub fn run_multi_disk(
+    engine_cfg: &EngineConfig,
+    workload: &vod_workload::Workload,
+    disks: usize,
+) -> Result<Vec<DiskRunStats>, ConfigError> {
+    drop(DiskEngine::new(engine_cfg.clone())?);
+    let results: Vec<DiskRunStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..disks)
+            .map(|d| {
+                let cfg = engine_cfg.clone();
+                let arrivals = workload.for_disk(vod_types::DiskId::new(d as u64));
+                scope.spawn(move || {
+                    DiskEngine::new(cfg)
+                        .expect("validated above")
+                        .run(&arrivals)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("disk thread panicked"))
+            .collect()
+    });
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::Seconds;
+
+    /// A small-but-real experiment: 2 seeds, 2 simulated hours, and a
+    /// partial load (n ≈ 20 of 79) — the regime where the dynamic scheme's
+    /// advantage lives.
+    fn small_experiment(scheme: SchemeKind) -> LatencyExperiment {
+        let mut exp = LatencyExperiment::paper(SchedulingMethod::RoundRobin, scheme, 1.0, 40.0);
+        exp.workload.duration = Seconds::from_hours(2.0);
+        exp.workload.peak = Seconds::from_hours(1.0);
+        exp.seeds = vec![1, 2];
+        exp
+    }
+
+    #[test]
+    fn runs_multi_seed_and_merges() {
+        let res = run_latency_experiment(&small_experiment(SchemeKind::Dynamic))
+            .expect("valid experiment");
+        assert_eq!(res.seeds, 2);
+        assert!(res.stats.admitted > 0);
+        assert_eq!(res.stats.underflows, 0);
+        assert!(res.audit.samples > 0);
+        assert!(res.audit.success_probability > 0.5);
+        assert!(!res.stats.il_samples.is_empty());
+    }
+
+    #[test]
+    fn dynamic_latency_is_below_static_on_average() {
+        let dy = run_latency_experiment(&small_experiment(SchemeKind::Dynamic))
+            .expect("valid experiment");
+        let st = run_latency_experiment(&small_experiment(SchemeKind::Static))
+            .expect("valid experiment");
+        let dyl = dy.stats.mean_latency().expect("samples").as_secs_f64();
+        let stl = st.stats.mean_latency().expect("samples").as_secs_f64();
+        assert!(dyl < stl, "dynamic {dyl} >= static {stl}");
+    }
+
+    #[test]
+    fn multi_disk_runner_covers_every_disk() {
+        let mut cfg = vod_workload::WorkloadConfig::paper_ten_disk(0.5, 600.0);
+        cfg.duration = Seconds::from_hours(2.0);
+        cfg.peak = Seconds::from_minutes(45.0);
+        let workload = vod_workload::generate(&cfg, 3).expect("valid workload");
+        let engine_cfg = EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Dynamic);
+        let stats = run_multi_disk(&engine_cfg, &workload, 10).expect("valid");
+        assert_eq!(stats.len(), 10);
+        let handled: u64 = stats.iter().map(|s| s.admitted + s.rejected).sum();
+        assert_eq!(handled, workload.len() as u64);
+        for (d, s) in stats.iter().enumerate() {
+            assert_eq!(s.underflows, 0, "disk {d}");
+        }
+        // The Zipf skew puts more work on disk 0 than disk 9.
+        assert!(stats[0].admitted > stats[9].admitted);
+    }
+
+    #[test]
+    fn invalid_experiment_is_rejected_up_front() {
+        let mut exp = small_experiment(SchemeKind::Dynamic);
+        exp.workload.theta = 9.0;
+        assert!(run_latency_experiment(&exp).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests on the stream model: conservation of data through
+//! arbitrary fill/advance interleavings.
+
+use proptest::prelude::*;
+use vod_sim::stream::Stream;
+use vod_types::{BitRate, Bits, Instant, RequestId, Seconds, VideoId};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Advance the clock by this many milliseconds, materializing.
+    Advance(u32),
+    /// Fill this many bits at the current time.
+    Fill(u32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..120_000).prop_map(Op::Advance),
+            (1u32..80_000_000).prop_map(Op::Fill),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn data_is_conserved(ops in ops(), viewing_secs in 1.0f64..7200.0) {
+        let cr = BitRate::from_mbps(1.5);
+        let mut s = Stream::new(
+            RequestId::new(0),
+            VideoId::new(0),
+            Instant::ZERO,
+            Seconds::from_secs(viewing_secs),
+        );
+        let mut t = Instant::ZERO;
+        let mut filled = 0.0f64;
+        let mut consumed = 0.0f64;
+        let mut deficit = 0.0f64;
+        for op in ops {
+            match op {
+                Op::Advance(ms) => {
+                    t += Seconds::from_millis(f64::from(ms));
+                    let upd = s.advance_to(t, cr);
+                    consumed += upd.consumed.as_f64();
+                    deficit += upd.deficit.as_f64();
+                }
+                Op::Fill(bits) => {
+                    s.advance_to(t, cr);
+                    // Re-materialize to t (idempotent) then add data.
+                    s.fill(t, Bits::new(f64::from(bits)));
+                    filled += f64::from(bits);
+                }
+            }
+            // Level is never negative, and never exceeds what was filled.
+            prop_assert!(s.level().as_f64() >= 0.0);
+            prop_assert!(s.level().as_f64() <= filled + 1e-6);
+        }
+        let final_upd = s.advance_to(t + Seconds::from_hours(10.0), cr);
+        consumed += final_upd.consumed.as_f64();
+        // Conservation: everything filled is either consumed or left over.
+        let leftover = s.level().as_f64();
+        prop_assert!(
+            (filled - consumed - leftover).abs() < 1e-6 * filled.max(1.0),
+            "filled {filled}, consumed {consumed}, leftover {leftover}"
+        );
+        // A viewer never consumes more than its viewing allowance.
+        let allowance = 1.5e6 * viewing_secs;
+        prop_assert!(consumed <= allowance + 1e-6 * allowance);
+        // Deficit only accrues while viewing, and is non-negative.
+        prop_assert!(deficit >= 0.0);
+    }
+
+    #[test]
+    fn due_time_is_consistent_with_level(
+        fill_mbits in 0.1f64..100.0,
+        elapsed in 0.0f64..100.0,
+    ) {
+        let cr = BitRate::from_mbps(1.5);
+        let mut s = Stream::new(
+            RequestId::new(0),
+            VideoId::new(0),
+            Instant::ZERO,
+            Seconds::from_hours(10.0), // effectively endless viewing
+        );
+        s.fill(Instant::ZERO, Bits::from_megabits(fill_mbits));
+        let t = Instant::from_secs(elapsed);
+        let level = s.level_at(t, cr);
+        if let Some(due) = s.due_at(cr) {
+            // At `due`, the level is exactly zero.
+            let at_due = s.level_at(due, cr).as_f64();
+            prop_assert!(at_due.abs() < 1.0, "level at due = {at_due}");
+            // Before the due, it is positive.
+            if t < due {
+                prop_assert!(level.as_f64() > -1.0);
+            }
+        }
+    }
+}

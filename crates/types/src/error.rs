@@ -1,0 +1,169 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+use crate::ids::RequestId;
+use crate::units::Bits;
+
+/// A configuration that cannot describe a feasible VOD system.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigError {
+    /// Name of the offending parameter.
+    pub parameter: &'static str,
+    /// Human-readable description of the constraint that was violated.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Constructs a configuration error.
+    #[must_use]
+    pub fn new(parameter: &'static str, reason: impl Into<String>) -> Self {
+        Self {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid configuration `{}`: {}",
+            self.parameter, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Top-level error type of the VOD library.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum VodError {
+    /// The system configuration is infeasible (e.g. `TR <= CR`, zero disks).
+    Config(ConfigError),
+    /// The disk is already servicing its maximum number `N` of streams.
+    DiskSaturated {
+        /// Maximum number of concurrent streams the disk supports.
+        max_requests: usize,
+    },
+    /// The buffer pool cannot satisfy an allocation.
+    OutOfMemory {
+        /// Additional footprint the operation needed (after any page
+        /// rounding) — under page granularity this can exceed the data
+        /// amount the caller asked to store.
+        requested: Bits,
+        /// Amount currently free.
+        available: Bits,
+    },
+    /// A stream consumed past the data available in its buffer: the
+    /// continuity guarantee was broken. If this surfaces while the
+    /// predict-and-enforce assumptions are enforced, it is a bug.
+    BufferUnderflow {
+        /// The starved request.
+        request: RequestId,
+        /// How many bits past the available data the stream consumed.
+        deficit: Bits,
+    },
+    /// An operation referenced a request unknown to the server
+    /// (never admitted, or already departed).
+    UnknownRequest(RequestId),
+    /// An operation would violate the inertia assumptions that the
+    /// dynamic scheme enforces at runtime (the request must be deferred).
+    AdmissionDeferred {
+        /// The deferred request.
+        request: RequestId,
+    },
+}
+
+impl fmt::Display for VodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VodError::Config(e) => write!(f, "{e}"),
+            VodError::DiskSaturated { max_requests } => {
+                write!(
+                    f,
+                    "disk saturated: already servicing N={max_requests} streams"
+                )
+            }
+            VodError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "buffer pool exhausted: requested {requested}, only {available} free"
+            ),
+            VodError::BufferUnderflow { request, deficit } => write!(
+                f,
+                "buffer underflow for {request}: consumed {deficit} past available data"
+            ),
+            VodError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            VodError::AdmissionDeferred { request } => write!(
+                f,
+                "admission of {request} deferred to preserve inertia assumptions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VodError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for VodError {
+    fn from(e: ConfigError) -> Self {
+        VodError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ConfigError::new("consumption_rate", "must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration `consumption_rate`: must be positive"
+        );
+
+        let e = VodError::DiskSaturated { max_requests: 79 };
+        assert!(e.to_string().contains("N=79"));
+
+        let e = VodError::OutOfMemory {
+            requested: Bits::from_megabits(10.0),
+            available: Bits::from_megabits(1.0),
+        };
+        assert!(e.to_string().contains("exhausted"));
+
+        let e = VodError::BufferUnderflow {
+            request: RequestId::new(4),
+            deficit: Bits::new(100.0),
+        };
+        assert!(e.to_string().contains("R4"));
+
+        assert!(VodError::UnknownRequest(RequestId::new(1))
+            .to_string()
+            .contains("R1"));
+        assert!(VodError::AdmissionDeferred {
+            request: RequestId::new(2)
+        }
+        .to_string()
+        .contains("deferred"));
+    }
+
+    #[test]
+    fn config_error_converts_to_vod_error_with_source() {
+        use std::error::Error as _;
+        let e: VodError = ConfigError::new("x", "bad").into();
+        assert!(matches!(e, VodError::Config(_)));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared foundation types for the VOD dynamic-buffer-allocation library.
+//!
+//! This crate sits at the bottom of the workspace dependency graph and
+//! defines the vocabulary every other crate speaks:
+//!
+//! * [`units`] — strongly typed physical quantities: [`Bits`], [`BitRate`],
+//!   and [`Seconds`], plus the absolute simulation timestamp [`Instant`].
+//!   The paper's analysis (Lee et al., TKDE 2003) is carried out in
+//!   continuous quantities — bits, bits/second, seconds — so these are thin
+//!   `f64` newtypes with the dimensional arithmetic one expects
+//!   (`Bits / BitRate = Seconds`, `BitRate * Seconds = Bits`, …).
+//! * [`ids`] — opaque identifiers for user requests, videos, and disks.
+//! * [`error`] — the shared [`VodError`] hierarchy.
+//!
+//! # Conventions
+//!
+//! * All data sizes are **bits**, matching the paper's `TR`/`CR` definitions
+//!   (Table 1 of the paper gives both in bits/sec).
+//! * All durations are **seconds**.
+//! * `f64` is used throughout: the closed forms of the paper are products
+//!   and sums of at most ~80 terms, far inside `f64`'s exact range for the
+//!   magnitudes involved (≲ 2⁴⁰ bits).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod units;
+
+pub use error::{ConfigError, VodError};
+pub use ids::{DiskId, RequestId, VideoId};
+pub use units::{BitRate, Bits, Instant, Seconds};

@@ -1,0 +1,88 @@
+//! Property tests for the dimensional newtypes: the arithmetic laws the
+//! rest of the workspace silently relies on.
+
+use proptest::prelude::*;
+use vod_types::{BitRate, Bits, Instant, Seconds};
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e12f64..1.0e12
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1.0e-3f64..1.0e12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn bits_addition_is_commutative_and_associative(a in finite(), b in finite(), c in finite()) {
+        let (x, y, z) = (Bits::new(a), Bits::new(b), Bits::new(c));
+        prop_assert_eq!(x + y, y + x);
+        let l = ((x + y) + z).as_f64();
+        let r = (x + (y + z)).as_f64();
+        prop_assert!((l - r).abs() <= 1e-9 * l.abs().max(r.abs()).max(1.0));
+    }
+
+    #[test]
+    fn bits_rate_time_triangle(rate in positive(), secs in positive()) {
+        // bits = rate · time, time = bits / rate: the triangle closes.
+        let r = BitRate::new(rate);
+        let t = Seconds::from_secs(secs);
+        let b = r * t;
+        let back = b / r;
+        prop_assert!((back.as_secs_f64() - secs).abs() <= 1e-9 * secs);
+    }
+
+    #[test]
+    fn unit_conversions_round_trip(v in positive()) {
+        prop_assert!((Bits::from_megabits(v).as_megabits() - v).abs() <= 1e-9 * v);
+        prop_assert!((Bits::from_mebibytes(v).as_mebibytes() - v).abs() <= 1e-9 * v);
+        prop_assert!((Bits::from_gigabytes(v).as_gigabytes() - v).abs() <= 1e-9 * v);
+        prop_assert!((Seconds::from_minutes(v).as_minutes() - v).abs() <= 1e-9 * v);
+        prop_assert!((Seconds::from_hours(v).as_hours() - v).abs() <= 1e-9 * v);
+        prop_assert!((BitRate::from_mbps(v).as_mbps() - v).abs() <= 1e-9 * v);
+    }
+
+    #[test]
+    fn instant_offsets_cancel(base in finite(), d in finite()) {
+        let t0 = Instant::from_secs(base);
+        let delta = Seconds::from_secs(d);
+        let t1 = t0 + delta;
+        let diff = t1 - t0;
+        prop_assert!((diff.as_secs_f64() - d).abs() <= 1e-9 * d.abs().max(base.abs()).max(1.0));
+        let back = t1 - delta;
+        prop_assert!((back.as_secs_f64() - base).abs() <= 1e-9 * d.abs().max(base.abs()).max(1.0));
+    }
+
+    #[test]
+    fn ordering_agrees_with_raw_values(a in finite(), b in finite()) {
+        prop_assert_eq!(Bits::new(a) < Bits::new(b), a < b);
+        prop_assert_eq!(Seconds::from_secs(a) < Seconds::from_secs(b), a < b);
+        prop_assert_eq!(Instant::from_secs(a) < Instant::from_secs(b), a < b);
+        prop_assert_eq!(
+            Bits::new(a).max(Bits::new(b)).as_f64(),
+            a.max(b)
+        );
+    }
+
+    #[test]
+    fn clamp_non_negative_is_idempotent_and_bounded(a in finite()) {
+        let c = Bits::new(a).clamp_non_negative();
+        prop_assert!(c.as_f64() >= 0.0);
+        prop_assert_eq!(c.clamp_non_negative(), c);
+        if a >= 0.0 {
+            prop_assert_eq!(c.as_f64(), a);
+        }
+    }
+
+    #[test]
+    fn sum_equals_fold(values in prop::collection::vec(finite(), 0..40)) {
+        let via_sum: Bits = values.iter().map(|&v| Bits::new(v)).sum();
+        let via_fold = values.iter().fold(0.0, |acc, &v| acc + v);
+        prop_assert!(
+            (via_sum.as_f64() - via_fold).abs()
+                <= 1e-9 * via_fold.abs().max(1.0)
+        );
+    }
+}

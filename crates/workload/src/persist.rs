@@ -1,0 +1,155 @@
+//! Trace persistence: save/load workloads as CSV so experiments can be
+//! replayed across processes (and exchanged with other tooling) without
+//! regenerating.
+
+use std::io::{BufRead, Write};
+
+use vod_types::{ConfigError, DiskId, Instant, Seconds, VideoId};
+
+use crate::trace::{Arrival, Workload};
+
+const HEADER: &str = "at_secs,disk,video,viewing_secs";
+
+/// Writes the workload as CSV (`at_secs,disk,video,viewing_secs`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(workload: &Workload, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{HEADER}")?;
+    for a in &workload.arrivals {
+        writeln!(
+            out,
+            "{:.9},{},{},{:.9}",
+            a.at.as_secs_f64(),
+            a.disk.raw(),
+            a.video.raw(),
+            a.viewing.as_secs_f64()
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses a workload from the CSV produced by [`write_csv`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for malformed headers, rows, unparsable
+/// fields, or out-of-order arrivals.
+pub fn read_csv<R: BufRead>(input: R) -> Result<Workload, ConfigError> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .transpose()
+        .map_err(|e| ConfigError::new("trace_csv", format!("read error: {e}")))?
+        .ok_or_else(|| ConfigError::new("trace_csv", "empty input"))?;
+    if header.trim() != HEADER {
+        return Err(ConfigError::new(
+            "trace_csv",
+            format!("unexpected header `{header}`"),
+        ));
+    }
+    let mut arrivals = Vec::new();
+    let mut prev = f64::NEG_INFINITY;
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| ConfigError::new("trace_csv", format!("read error: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(ConfigError::new(
+                "trace_csv",
+                format!(
+                    "row {}: expected 4 fields, got {}",
+                    lineno + 2,
+                    fields.len()
+                ),
+            ));
+        }
+        let parse_f = |s: &str, what: &str| -> Result<f64, ConfigError> {
+            s.trim().parse::<f64>().map_err(|_| {
+                ConfigError::new("trace_csv", format!("row {}: bad {what} `{s}`", lineno + 2))
+            })
+        };
+        let parse_u = |s: &str, what: &str| -> Result<u64, ConfigError> {
+            s.trim().parse::<u64>().map_err(|_| {
+                ConfigError::new("trace_csv", format!("row {}: bad {what} `{s}`", lineno + 2))
+            })
+        };
+        let at = parse_f(fields[0], "arrival time")?;
+        let viewing = parse_f(fields[3], "viewing time")?;
+        if !at.is_finite() || at < prev {
+            return Err(ConfigError::new(
+                "trace_csv",
+                format!("row {}: arrivals must be time-sorted", lineno + 2),
+            ));
+        }
+        if !viewing.is_finite() || viewing < 0.0 {
+            return Err(ConfigError::new(
+                "trace_csv",
+                format!("row {}: negative viewing", lineno + 2),
+            ));
+        }
+        prev = at;
+        arrivals.push(Arrival {
+            at: Instant::from_secs(at),
+            disk: DiskId::new(parse_u(fields[1], "disk id")?),
+            video: VideoId::new(parse_u(fields[2], "video id")?),
+            viewing: Seconds::from_secs(viewing),
+        });
+    }
+    Ok(Workload { arrivals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate, WorkloadConfig};
+
+    #[test]
+    fn round_trip_preserves_the_trace() {
+        let w = generate(&WorkloadConfig::paper_single_disk(0.5, 200.0), 4).expect("valid");
+        let mut buf = Vec::new();
+        write_csv(&w, &mut buf).expect("in-memory write");
+        let back = read_csv(buf.as_slice()).expect("own output parses");
+        assert_eq!(back.len(), w.len());
+        for (a, b) in w.arrivals.iter().zip(&back.arrivals) {
+            assert!((a.at.as_secs_f64() - b.at.as_secs_f64()).abs() < 1e-6);
+            assert_eq!(a.disk, b.disk);
+            assert_eq!(a.video, b.video);
+            assert!((a.viewing.as_secs_f64() - b.viewing.as_secs_f64()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_csv(&b""[..]).is_err());
+        assert!(read_csv(&b"wrong,header\n"[..]).is_err());
+        let bad_fields = format!("{HEADER}\n1.0,0,0\n");
+        assert!(read_csv(bad_fields.as_bytes()).is_err());
+        let bad_number = format!("{HEADER}\nxyz,0,0,1.0\n");
+        assert!(read_csv(bad_number.as_bytes()).is_err());
+        let unsorted = format!("{HEADER}\n5.0,0,0,1.0\n1.0,0,0,1.0\n");
+        assert!(read_csv(unsorted.as_bytes()).is_err());
+        let negative = format!("{HEADER}\n1.0,0,0,-2.0\n");
+        assert!(read_csv(negative.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let w = Workload::default();
+        let mut buf = Vec::new();
+        write_csv(&w, &mut buf).expect("write");
+        let back = read_csv(buf.as_slice()).expect("parse");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = format!("{HEADER}\n1.0,0,2,3.5\n\n2.0,1,0,4.0\n");
+        let w = read_csv(csv.as_bytes()).expect("parse");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.arrivals[1].disk, DiskId::new(1));
+    }
+}

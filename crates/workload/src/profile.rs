@@ -1,0 +1,215 @@
+//! Time-varying arrival-rate profiles (§5.1, Fig. 6).
+//!
+//! The paper's simulation changes the arrival rate `λ` every 30 minutes.
+//! The per-slot rates follow a Zipf(θ) distribution over the day's slots,
+//! ranked by distance from a **peak at hour 9** of service: the slot
+//! containing the peak gets rank 1 (the largest share), its neighbours the
+//! next ranks, and so on. `θ = 1` degenerates to a uniform profile.
+
+use vod_types::{ConfigError, Instant, Seconds};
+
+use crate::zipf::Zipf;
+
+/// A piecewise-constant daily arrival-rate profile.
+#[derive(Clone, Debug)]
+pub struct RateProfile {
+    slot_len: Seconds,
+    /// Arrivals per second in each slot.
+    rates: Vec<f64>,
+}
+
+impl RateProfile {
+    /// Builds the paper's profile: `duration` split into `slot_len` slots,
+    /// total expected arrivals `expected_arrivals` distributed over slots
+    /// by Zipf(θ) ranked by distance from `peak`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for non-positive durations/slots, a peak
+    /// outside the duration, a non-positive arrival budget, or θ outside
+    /// `[0, 1]`.
+    pub fn zipf_peaked(
+        duration: Seconds,
+        slot_len: Seconds,
+        peak: Seconds,
+        theta: f64,
+        expected_arrivals: f64,
+    ) -> Result<Self, ConfigError> {
+        if !duration.is_valid_duration() || duration <= Seconds::ZERO {
+            return Err(ConfigError::new("duration", "must be positive"));
+        }
+        if !slot_len.is_valid_duration() || slot_len <= Seconds::ZERO || slot_len > duration {
+            return Err(ConfigError::new("slot_len", "must be in (0, duration]"));
+        }
+        if !peak.is_valid_duration() || peak > duration {
+            return Err(ConfigError::new("peak", "must lie within the duration"));
+        }
+        if expected_arrivals <= 0.0 || !expected_arrivals.is_finite() {
+            return Err(ConfigError::new("expected_arrivals", "must be positive"));
+        }
+        let slots = (duration / slot_len).ceil() as usize;
+        let zipf = Zipf::new(slots, theta)?;
+
+        // Rank slots by distance of their centre from the peak; ties (the
+        // two equidistant neighbours) break toward the earlier slot.
+        let mut order: Vec<usize> = (0..slots).collect();
+        let centre = |i: usize| slot_len.as_secs_f64() * (i as f64 + 0.5);
+        order.sort_by(|&a, &b| {
+            let da = (centre(a) - peak.as_secs_f64()).abs();
+            let db = (centre(b) - peak.as_secs_f64()).abs();
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        let mut rates = vec![0.0; slots];
+        for (rank0, &slot) in order.iter().enumerate() {
+            let share = zipf.probability(rank0 + 1);
+            rates[slot] = expected_arrivals * share / slot_len.as_secs_f64();
+        }
+        Ok(RateProfile { slot_len, rates })
+    }
+
+    /// A flat profile with the given total expected arrivals.
+    ///
+    /// # Errors
+    ///
+    /// As [`RateProfile::zipf_peaked`] (θ = 1 makes Zipf uniform).
+    pub fn uniform(
+        duration: Seconds,
+        slot_len: Seconds,
+        expected_arrivals: f64,
+    ) -> Result<Self, ConfigError> {
+        Self::zipf_peaked(duration, slot_len, Seconds::ZERO, 1.0, expected_arrivals)
+    }
+
+    /// The arrival rate (arrivals/second) at time `t`; 0 past the horizon.
+    #[must_use]
+    pub fn rate_at(&self, t: Instant) -> f64 {
+        let idx = (t.as_secs_f64() / self.slot_len.as_secs_f64()).floor();
+        if idx < 0.0 {
+            return 0.0;
+        }
+        self.rates.get(idx as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Per-slot rates (arrivals/second).
+    #[must_use]
+    pub fn slot_rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Slot length.
+    #[must_use]
+    pub fn slot_len(&self) -> Seconds {
+        self.slot_len
+    }
+
+    /// Total expected arrivals over the whole profile.
+    #[must_use]
+    pub fn expected_arrivals(&self) -> f64 {
+        self.rates.iter().sum::<f64>() * self.slot_len.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day() -> Seconds {
+        Seconds::from_hours(24.0)
+    }
+
+    fn half_hour() -> Seconds {
+        Seconds::from_minutes(30.0)
+    }
+
+    fn peak9() -> Seconds {
+        Seconds::from_hours(9.0)
+    }
+
+    #[test]
+    fn expected_arrivals_are_preserved() {
+        for theta in [0.0, 0.5, 1.0] {
+            let p = RateProfile::zipf_peaked(day(), half_hour(), peak9(), theta, 1440.0)
+                .expect("valid");
+            assert!((p.expected_arrivals() - 1440.0).abs() < 1e-6, "θ={theta}");
+            assert_eq!(p.slot_rates().len(), 48);
+        }
+    }
+
+    #[test]
+    fn peak_slot_has_the_highest_rate() {
+        let p = RateProfile::zipf_peaked(day(), half_hour(), peak9(), 0.0, 1440.0).expect("valid");
+        // Hour 9 is the boundary of slots 17 and 18; their centres are
+        // equidistant from the peak, and the tie breaks to slot 17.
+        let peak_rate = p.rate_at(Instant::from_secs(8.75 * 3600.0));
+        for (i, &r) in p.slot_rates().iter().enumerate() {
+            assert!(r <= peak_rate + 1e-15, "slot {i} exceeds the peak");
+        }
+        assert!((p.slot_rates()[17] - peak_rate).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rates_decay_away_from_the_peak_when_skewed() {
+        let p = RateProfile::zipf_peaked(day(), half_hour(), peak9(), 0.0, 1440.0).expect("valid");
+        let at = |h: f64| p.rate_at(Instant::from_secs(h * 3600.0));
+        assert!(at(9.0) > at(7.0));
+        assert!(at(7.0) > at(2.0));
+        assert!(at(9.0) > at(13.0));
+        assert!(at(13.0) > at(20.0));
+    }
+
+    #[test]
+    fn theta_one_is_flat() {
+        let p = RateProfile::zipf_peaked(day(), half_hour(), peak9(), 1.0, 1440.0).expect("valid");
+        let first = p.slot_rates()[0];
+        for &r in p.slot_rates() {
+            assert!((r - first).abs() < 1e-15);
+        }
+        // 1440 arrivals over 24 h = 1 per minute.
+        assert!((first - 1.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_constructor_matches_theta_one() {
+        let u = RateProfile::uniform(day(), half_hour(), 1440.0).expect("valid");
+        let z = RateProfile::zipf_peaked(day(), half_hour(), peak9(), 1.0, 1440.0).expect("valid");
+        for (a, b) in u.slot_rates().iter().zip(z.slot_rates()) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rate_is_zero_outside_horizon() {
+        let p = RateProfile::uniform(day(), half_hour(), 100.0).expect("valid");
+        assert_eq!(p.rate_at(Instant::from_secs(25.0 * 3600.0)), 0.0);
+    }
+
+    #[test]
+    fn skewed_profile_concentrates_mass_near_peak() {
+        // With θ = 0, the six hours around the peak (7–13 h? -> 12 slots)
+        // should hold well over their uniform share of arrivals; this is
+        // the regime where the paper reports rejections.
+        let p = RateProfile::zipf_peaked(day(), half_hour(), peak9(), 0.0, 1440.0).expect("valid");
+        let around_peak: f64 = (14..=22)
+            .map(|i| p.slot_rates()[i] * half_hour().as_secs_f64())
+            .sum();
+        assert!(
+            around_peak > 1440.0 * 0.35,
+            "mass near peak only {around_peak}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(RateProfile::zipf_peaked(Seconds::ZERO, half_hour(), peak9(), 0.5, 10.0).is_err());
+        assert!(RateProfile::zipf_peaked(day(), Seconds::ZERO, peak9(), 0.5, 10.0).is_err());
+        assert!(
+            RateProfile::zipf_peaked(day(), half_hour(), Seconds::from_hours(30.0), 0.5, 10.0)
+                .is_err()
+        );
+        assert!(RateProfile::zipf_peaked(day(), half_hour(), peak9(), 0.5, 0.0).is_err());
+        assert!(RateProfile::zipf_peaked(day(), half_hour(), peak9(), 1.5, 10.0).is_err());
+    }
+}

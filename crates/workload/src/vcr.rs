@@ -1,0 +1,185 @@
+//! VCR interactions (fast-forward / rewind / skip).
+//!
+//! Following the paper's §1 (and Dey-Sircar et al., Dan et al.), VCR
+//! operations are modelled as **new requests**: the old stream departs and
+//! a fresh request arrives at the action instant, continuing the same
+//! video. [`with_vcr_actions`] rewrites a base workload accordingly: each
+//! viewing is split at Poisson-distributed action times, preserving total
+//! viewing time while multiplying the arrival count — which is exactly why
+//! initial latency is the paper's measure of VCR responsiveness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vod_types::{ConfigError, Seconds};
+
+use crate::poisson::exponential_gap;
+use crate::trace::{Arrival, Workload};
+
+/// Configuration of VCR behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VcrConfig {
+    /// Mean VCR actions per hour of viewing, per stream (Poisson).
+    pub actions_per_hour: f64,
+    /// Floor below which a residual segment is dropped rather than
+    /// re-requested (a sub-second tail press is churn, not viewing).
+    pub min_segment: Seconds,
+}
+
+impl VcrConfig {
+    /// A moderately fidgety audience: 6 actions per viewing hour.
+    #[must_use]
+    pub fn fidgety() -> Self {
+        VcrConfig {
+            actions_per_hour: 6.0,
+            min_segment: Seconds::from_secs(1.0),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for negative/non-finite rates or floors.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.actions_per_hour.is_finite() || self.actions_per_hour < 0.0 {
+            return Err(ConfigError::new("actions_per_hour", "must be non-negative"));
+        }
+        if !self.min_segment.is_valid_duration() {
+            return Err(ConfigError::new("min_segment", "must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// Splits each viewing of `base` at Poisson VCR-action instants; every
+/// segment after the first becomes a new request arriving at the action
+/// time. The result is re-sorted by arrival time.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for an invalid configuration.
+pub fn with_vcr_actions(
+    base: &Workload,
+    cfg: VcrConfig,
+    seed: u64,
+) -> Result<Workload, ConfigError> {
+    cfg.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rate_per_sec = cfg.actions_per_hour / 3600.0;
+    let mut arrivals: Vec<Arrival> = Vec::with_capacity(base.arrivals.len());
+    for a in &base.arrivals {
+        let mut segment_start = a.at;
+        let mut remaining = a.viewing;
+        loop {
+            let gap = match exponential_gap(&mut rng, rate_per_sec) {
+                Some(g) if g < remaining => g,
+                _ => {
+                    // No further action within this viewing: final segment.
+                    arrivals.push(Arrival {
+                        at: segment_start,
+                        disk: a.disk,
+                        video: a.video,
+                        viewing: remaining,
+                    });
+                    break;
+                }
+            };
+            arrivals.push(Arrival {
+                at: segment_start,
+                disk: a.disk,
+                video: a.video,
+                viewing: gap,
+            });
+            segment_start = segment_start + gap;
+            remaining -= gap;
+            if remaining < cfg.min_segment {
+                break; // drop the sub-floor tail
+            }
+        }
+    }
+    arrivals.sort_by_key(|a| a.at);
+    Ok(Workload { arrivals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate, WorkloadConfig};
+
+    fn base() -> Workload {
+        let mut cfg = WorkloadConfig::paper_single_disk(1.0, 120.0);
+        cfg.duration = Seconds::from_hours(4.0);
+        cfg.peak = Seconds::from_hours(1.0);
+        generate(&cfg, 3).expect("valid workload config")
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let w = base();
+        let out = with_vcr_actions(
+            &w,
+            VcrConfig {
+                actions_per_hour: 0.0,
+                min_segment: Seconds::from_secs(1.0),
+            },
+            1,
+        )
+        .expect("valid");
+        assert_eq!(out.arrivals, w.arrivals);
+    }
+
+    #[test]
+    fn actions_multiply_arrivals_and_preserve_viewing() {
+        let w = base();
+        let out = with_vcr_actions(&w, VcrConfig::fidgety(), 7).expect("valid");
+        assert!(
+            out.len() > w.len(),
+            "fidgety viewers must create extra requests: {} vs {}",
+            out.len(),
+            w.len()
+        );
+        let total =
+            |wl: &Workload| -> f64 { wl.arrivals.iter().map(|a| a.viewing.as_secs_f64()).sum() };
+        // Viewing is preserved up to the dropped sub-floor tails.
+        let before = total(&w);
+        let after = total(&out);
+        assert!(after <= before + 1e-6);
+        assert!(after > before * 0.98, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn output_is_sorted_and_segments_chain() {
+        let w = base();
+        let out = with_vcr_actions(&w, VcrConfig::fidgety(), 11).expect("valid");
+        for pair in out.arrivals.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for a in &out.arrivals {
+            assert!(a.viewing > Seconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = base();
+        let a = with_vcr_actions(&w, VcrConfig::fidgety(), 5).expect("valid");
+        let b = with_vcr_actions(&w, VcrConfig::fidgety(), 5).expect("valid");
+        let c = with_vcr_actions(&w, VcrConfig::fidgety(), 6).expect("valid");
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let w = base();
+        assert!(with_vcr_actions(
+            &w,
+            VcrConfig {
+                actions_per_hour: -1.0,
+                min_segment: Seconds::ZERO
+            },
+            1
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! The Zipf distribution, in the parameterization of Wolf, Yu &
+//! Shachnai that the paper adopts (§5.1).
+//!
+//! Rank `i ∈ {1, …, m}` has weight `(1/i)^(1−θ)`:
+//!
+//! * `θ = 0` — the classic (highly skewed) Zipf law `p_i ∝ 1/i`;
+//! * `θ = 1` — the uniform distribution;
+//! * `θ = 0.271` — the skew Wolf et al. measured for video popularity.
+
+use rand::Rng;
+use vod_types::ConfigError;
+
+/// A Zipf(θ) distribution over ranks `1..=m`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// `p[i]` is the probability of rank `i + 1`.
+    pmf: Vec<f64>,
+    /// Cumulative distribution for sampling.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over `m ≥ 1` ranks with skew parameter
+    /// `θ ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for `m = 0` or `θ` outside `[0, 1]`.
+    pub fn new(m: usize, theta: f64) -> Result<Self, ConfigError> {
+        if m == 0 {
+            return Err(ConfigError::new("zipf_ranks", "must be at least 1"));
+        }
+        if !(0.0..=1.0).contains(&theta) {
+            return Err(ConfigError::new(
+                "zipf_theta",
+                format!("θ = {theta} outside [0, 1]"),
+            ));
+        }
+        let exponent = 1.0 - theta;
+        let mut pmf: Vec<f64> = (1..=m).map(|i| (i as f64).powf(-exponent)).collect();
+        let total: f64 = pmf.iter().sum();
+        for p in &mut pmf {
+            *p /= total;
+        }
+        let mut cdf = Vec::with_capacity(m);
+        let mut acc = 0.0;
+        for &p in &pmf {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard the tail against accumulated rounding.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { pmf, cdf, theta })
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.pmf.len()
+    }
+
+    /// The skew parameter θ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of rank `i ∈ 1..=m`; 0 outside the range.
+    #[must_use]
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            return 0.0;
+        }
+        self.pmf.get(rank - 1).copied().unwrap_or(0.0)
+    }
+
+    /// The probability vector, ranks 1.. in order.
+    #[must_use]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Samples a rank in `1..=m`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(idx) | Err(idx) => (idx + 1).min(self.pmf.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for theta in [0.0, 0.271, 0.5, 1.0] {
+            let z = Zipf::new(10, theta).expect("valid");
+            let total: f64 = z.probabilities().iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn theta_one_is_uniform() {
+        let z = Zipf::new(8, 1.0).expect("valid");
+        for i in 1..=8 {
+            assert!((z.probability(i) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_classic_zipf() {
+        let z = Zipf::new(4, 0.0).expect("valid");
+        // p_i ∝ 1/i over {1, 1/2, 1/3, 1/4}; H = 25/12.
+        let h = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+        assert!((z.probability(1) - 1.0 / h).abs() < 1e-12);
+        assert!((z.probability(4) - 0.25 / h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_theta_is_more_skewed() {
+        let skewed = Zipf::new(10, 0.0).expect("valid");
+        let mild = Zipf::new(10, 0.5).expect("valid");
+        assert!(skewed.probability(1) > mild.probability(1));
+        assert!(skewed.probability(10) < mild.probability(10));
+    }
+
+    #[test]
+    fn probabilities_are_nonincreasing_in_rank() {
+        let z = Zipf::new(20, 0.271).expect("valid");
+        for i in 1..20 {
+            assert!(z.probability(i) >= z.probability(i + 1));
+        }
+    }
+
+    #[test]
+    fn out_of_range_ranks_have_zero_probability() {
+        let z = Zipf::new(5, 0.5).expect("valid");
+        assert_eq!(z.probability(0), 0.0);
+        assert_eq!(z.probability(6), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 0.5).is_err());
+        assert!(Zipf::new(5, -0.1).is_err());
+        assert!(Zipf::new(5, 1.1).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(5, 0.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        let draws = 200_000;
+        for _ in 0..draws {
+            let r = z.sample(&mut rng);
+            assert!((1..=5).contains(&r));
+            counts[r - 1] += 1;
+        }
+        for i in 1..=5 {
+            let empirical = counts[i - 1] as f64 / draws as f64;
+            let expected = z.probability(i);
+            assert!(
+                (empirical - expected).abs() < 0.01,
+                "rank {i}: empirical {empirical}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_samples_one() {
+        let z = Zipf::new(1, 0.7).expect("valid");
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Evening rush: simulate a single-disk VOD server through a peaked
+//! arrival day (the paper's Zipf(θ = 0) profile) and compare the static
+//! and dynamic schemes on initial latency and memory.
+//!
+//! ```text
+//! cargo run --release --example evening_rush
+//! ```
+
+use vod::core::SchemeKind;
+use vod::prelude::*;
+
+fn main() {
+    // A 24-hour day whose arrival rate peaks at hour 9 (θ = 0: sharply
+    // peaked — everyone tunes in for the evening film).
+    let workload_cfg = WorkloadConfig::paper_single_disk(0.0, 1440.0);
+    let workload = generate(&workload_cfg, 42).expect("valid workload config");
+    println!(
+        "workload: {} requests over 24 h, peak at hour 9\n",
+        workload.len()
+    );
+
+    for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
+        let engine = DiskEngine::new(EngineConfig::paper(SchedulingMethod::RoundRobin, scheme))
+            .expect("paper parameters are feasible");
+        let stats = engine.run(&workload.arrivals);
+
+        let mean_il = stats
+            .mean_latency()
+            .map_or("n/a".to_owned(), |s| format!("{s}"));
+        println!("{scheme}:");
+        println!(
+            "  admitted {} / rejected {}",
+            stats.admitted, stats.rejected
+        );
+        println!("  deferrals (predict-and-enforce): {}", stats.deferrals);
+        println!("  mean initial latency: {mean_il}");
+        println!("  peak buffer memory:   {}", stats.peak_memory);
+        println!("  buffer underflows:    {}", stats.underflows);
+        println!("  disk services:        {}", stats.services);
+
+        // Latency by load level — the dynamic scheme's advantage lives at
+        // partial load.
+        print!("  mean IL by load: ");
+        for (lo, label) in [(1usize, "n~1-20"), (21, "n~21-40"), (41, "n~41-60")] {
+            let by_load = stats.latency_by_load(79);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (c, m) in by_load[lo..lo + 19].iter() {
+                if let Some(m) = m {
+                    total += m.as_secs_f64() * *c as f64;
+                    count += c;
+                }
+            }
+            if count > 0 {
+                print!("{label}: {:.2}s  ", total / count as f64);
+            }
+        }
+        println!("\n");
+    }
+    println!(
+        "Off-peak, the dynamic scheme answers an order of magnitude faster\n\
+         (the n~1-40 rows) — the paper's Fig. 11 story. Peak memory matches\n\
+         because both schemes converge at full load; run with θ = 1.0 (or\n\
+         fewer arrivals) to see the partial-load memory gap of Fig. 12."
+    );
+}

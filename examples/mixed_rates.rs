@@ -1,0 +1,74 @@
+//! Mixed display rates (the paper's footnote 2): serve a palette of
+//! MPEG-1 (1.5 Mbps), MPEG-2 SD (3 Mbps), and HD (6 Mbps) streams from
+//! one disk, comparing the *maximal-rate* and *unit-rate* adaptations —
+//! and stress the admission pipeline with a fidgety, VCR-happy audience.
+//!
+//! ```text
+//! cargo run --release --example mixed_rates
+//! ```
+
+use vod::core::multirate::{MultiRateSystem, RateAdaptation};
+use vod::core::{SchemeKind, SizeTable};
+use vod::prelude::*;
+use vod::workload::{with_vcr_actions, VcrConfig};
+
+fn main() {
+    let palette = [
+        ("MPEG-1", BitRate::from_mbps(1.5)),
+        ("SD", BitRate::from_mbps(3.0)),
+        ("HD", BitRate::from_mbps(6.0)),
+    ];
+    let rates: Vec<BitRate> = palette.iter().map(|&(_, r)| r).collect();
+
+    println!("rate palette: 1.5 / 3.0 / 6.0 Mbps on one Barracuda 9LP\n");
+    for strategy in [RateAdaptation::MaximalRate, RateAdaptation::UnitRate] {
+        let sys = MultiRateSystem::new(
+            DiskProfile::barracuda_9lp(),
+            SchedulingMethod::RoundRobin,
+            1,
+            &rates,
+            strategy,
+        )
+        .expect("feasible palette");
+        let table = SizeTable::build(sys.params());
+        println!(
+            "{strategy:?}: base rate {}, {} virtual slots",
+            sys.base_rate(),
+            sys.params().max_requests()
+        );
+        for &(name, r) in &palette {
+            let slots = sys.virtual_streams(r).expect("rate in palette");
+            let max = sys.max_requests_at(r).expect("rate in palette");
+            let bs = sys.buffer_size(&table, 20, 2, r).expect("rate in palette");
+            println!(
+                "  {name:<7} -> {slots} slot(s), up to {max:>2} alone, \
+                 buffer {bs} at (n=20, k=2)"
+            );
+        }
+        println!();
+    }
+
+    // The unit-rate adaptation composes with the rest of the machinery:
+    // run the regular (unit-rate) engine under a VCR-heavy audience to
+    // see how interactive viewing stresses admission.
+    let base = generate(&WorkloadConfig::paper_single_disk(1.0, 300.0), 21)
+        .expect("valid workload config");
+    let fidgety = with_vcr_actions(&base, VcrConfig::fidgety(), 9).expect("valid VCR config");
+    println!(
+        "VCR audience: {} base viewings become {} requests (each skip is a new request)",
+        base.len(),
+        fidgety.len()
+    );
+    for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
+        let stats = DiskEngine::new(EngineConfig::paper(SchedulingMethod::RoundRobin, scheme))
+            .expect("paper parameters are feasible")
+            .run(&fidgety.arrivals);
+        println!(
+            "  {scheme:<8} mean IL {} | p95 {} | deferrals {} | underflows {}",
+            stats.mean_latency().expect("samples"),
+            stats.latency_percentile(0.95).expect("samples"),
+            stats.deferrals,
+            stats.underflows,
+        );
+    }
+}
