@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] <experiment>...
+//! repro [--quick] [--trace <file.jsonl>] [--summary-json <file>] <experiment>...
 //! repro [--quick] all
 //! repro --list
 //! ```
@@ -9,15 +9,27 @@
 //! Each experiment prints aligned tables to stdout and mirrors them as CSV
 //! under `results/`. `--quick` runs the simulated experiments at a reduced
 //! scale (6 simulated hours, 2 seeds) — shapes hold, noise is higher.
+//!
+//! Observability (simulated experiments only; analytic ones emit nothing):
+//!
+//! * `--trace <file.jsonl>` — records every engine event and writes them
+//!   as JSON Lines. Each experiment contributes a marker line
+//!   `{"kind":"experiment","name":...}` followed by its events.
+//! * `--summary-json <file>` — writes one JSON document with, per
+//!   experiment, the host wall-clock time, per-kind event counters
+//!   (admitted / deferred / rejected / underflow, …), and the recorder's
+//!   histograms.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use vod_analysis::{write_csv, Table};
 use vod_bench::{
     fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr, Scale,
 };
+use vod_obs::{json, Obs, RecorderSink};
 
 const EXPERIMENTS: [(&str, &str); 14] = [
     ("tab3", "disk profile constants and derived N (analysis)"),
@@ -39,28 +51,38 @@ const EXPERIMENTS: [(&str, &str); 14] = [
     ("vcr", "extension: VCR responsiveness (simulation)"),
 ];
 
-fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Table>> {
+fn is_simulated(name: &str) -> bool {
+    matches!(
+        name,
+        "fig6" | "fig7" | "fig8" | "fig11" | "fig14" | "tab4" | "tab5" | "vcr"
+    )
+}
+
+fn run_experiment(name: &str, scale: Scale, obs: &Obs) -> Option<Vec<Table>> {
     match name {
         "tab3" => Some(tab3()),
-        "fig6" => Some(fig6(scale)),
-        "fig7" => Some(fig7(scale)),
-        "fig8" => Some(fig8(scale)),
+        "fig6" => Some(fig6(scale, obs)),
+        "fig7" => Some(fig7(scale, obs)),
+        "fig8" => Some(fig8(scale, obs)),
         "fig9" => Some(fig9()),
         "fig10" => Some(fig10()),
-        "fig11" => Some(fig11(scale)),
+        "fig11" => Some(fig11(scale, obs)),
         "fig12" => Some(fig12()),
         "fig13" => Some(fig13()),
-        "fig14" => Some(fig14(scale)),
-        "tab4" => Some(tab4(scale)),
-        "tab5" => Some(tab5(scale)),
+        "fig14" => Some(fig14(scale, obs)),
+        "tab4" => Some(tab4(scale, obs)),
+        "tab5" => Some(tab5(scale, obs)),
         "gss_g" => Some(gss_g()),
-        "vcr" => Some(vcr(scale)),
+        "vcr" => Some(vcr(scale, obs)),
         _ => None,
     }
 }
 
 fn print_usage() {
-    eprintln!("usage: repro [--quick] <experiment>... | all | --list");
+    eprintln!(
+        "usage: repro [--quick] [--trace <file.jsonl>] [--summary-json <file>] \
+         <experiment>... | all | --list"
+    );
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<6} {desc}");
@@ -75,12 +97,29 @@ fn main() -> ExitCode {
     }
     let mut scale = Scale::Full;
     let mut names: Vec<String> = Vec::new();
-    for a in &args {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut summary_path: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--list" => {
                 print_usage();
                 return ExitCode::SUCCESS;
+            }
+            "--trace" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--trace requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(PathBuf::from(p));
+            }
+            "--summary-json" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--summary-json requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                summary_path = Some(PathBuf::from(p));
             }
             "all" => names.extend(EXPERIMENTS.iter().map(|(n, _)| (*n).to_owned())),
             other => names.push(other.to_owned()),
@@ -91,14 +130,35 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let observing = trace_path.is_some() || summary_path.is_some();
+    let mut trace_out = String::new();
+    let mut summary_entries = json::Array::new();
+
     let results_dir = Path::new("results");
     for name in names {
         let started = Instant::now();
-        let Some(tables) = run_experiment(&name, scale) else {
+        // A fresh recorder per experiment keeps counters and the trace
+        // attributable. With --summary-json alone the recorder keeps no
+        // raw events (capacity 0): counters and histograms still fill.
+        let sink = if observing && is_simulated(&name) {
+            Some(Arc::new(if trace_path.is_some() {
+                RecorderSink::new()
+            } else {
+                RecorderSink::with_capacity(0)
+            }))
+        } else {
+            None
+        };
+        let obs = match &sink {
+            Some(s) => Obs::new(Arc::clone(s) as Arc<dyn vod_obs::Sink>),
+            None => Obs::from_env(),
+        };
+        let Some(tables) = run_experiment(&name, scale, &obs) else {
             eprintln!("unknown experiment `{name}`");
             print_usage();
             return ExitCode::FAILURE;
         };
+        let elapsed = started.elapsed();
         for (i, table) in tables.iter().enumerate() {
             println!("{}", table.render());
             let csv_name = if tables.len() == 1 {
@@ -110,7 +170,55 @@ fn main() -> ExitCode {
                 eprintln!("warning: could not write results/{csv_name}.csv: {e}");
             }
         }
-        eprintln!("[{name} done in {:.1?}]", started.elapsed());
+        if let Some(sink) = sink {
+            let snap = sink.snapshot();
+            if trace_path.is_some() {
+                let mut marker = json::Object::new();
+                marker.str("kind", "experiment");
+                marker.str("name", &name);
+                marker.uint("events", snap.events().len() as u64);
+                marker.uint("dropped", snap.dropped());
+                trace_out.push_str(&marker.finish());
+                trace_out.push('\n');
+                trace_out.push_str(&snap.export_jsonl());
+            }
+            let mut entry = json::Object::new();
+            entry.str("name", &name);
+            entry.num("wall_clock_s", elapsed.as_secs_f64());
+            entry.raw("observed", &snap.to_json());
+            summary_entries.raw(&entry.finish());
+        } else if summary_path.is_some() {
+            let mut entry = json::Object::new();
+            entry.str("name", &name);
+            entry.num("wall_clock_s", elapsed.as_secs_f64());
+            entry.null("observed"); // analytic: no engine runs, no events
+            summary_entries.raw(&entry.finish());
+        }
+        eprintln!("[{name} done in {elapsed:.1?}]");
+    }
+
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, trace_out) {
+            eprintln!("error: could not write trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &summary_path {
+        let mut doc = json::Object::new();
+        doc.str(
+            "scale",
+            match scale {
+                Scale::Full => "full",
+                Scale::Quick => "quick",
+            },
+        );
+        doc.raw("experiments", &summary_entries.finish());
+        let mut body = doc.finish();
+        body.push('\n');
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: could not write summary {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -5,16 +5,23 @@
 //! replay generated workloads through `vod-sim`. Every function returns
 //! rendered [`Table`]s; the `repro` binary prints them and mirrors them to
 //! CSV under `results/`.
+//!
+//! Simulated experiments take an [`Obs`] handle and attach it to every
+//! engine/capacity run they perform (all seeds and schemes of that
+//! experiment share the handle, so a `RecorderSink` behind it aggregates
+//! the whole experiment). Pass [`Obs::null`] when no instrumentation is
+//! wanted — attaching a sink never changes the tables.
 
 use vod_analysis::table::fmt_f64;
 use vod_analysis::{
     fig10_worst_latency, fig12_min_memory, fig13_capacity, fig9_buffer_sizes, Table,
 };
 use vod_core::{SchemeKind, SystemParams};
+use vod_obs::Obs;
 use vod_sched::SchedulingMethod;
 use vod_sim::engine::EngineConfig;
 use vod_sim::{
-    run_latency_experiment, CapacityConfig, CapacitySim, DiskRunStats, LatencyExperiment,
+    run_latency_experiment_observed, CapacityConfig, CapacitySim, DiskRunStats, LatencyExperiment,
 };
 use vod_types::{Bits, Instant, Seconds};
 use vod_workload::{generate, WorkloadConfig};
@@ -186,7 +193,7 @@ fn experiment(
 /// (dynamic scheme, Round-Robin; the admitted-load trace is
 /// scheme-insensitive away from saturation).
 #[must_use]
-pub fn fig6(scale: Scale) -> Vec<Table> {
+pub fn fig6(scale: Scale, obs: &Obs) -> Vec<Table> {
     let slot = Seconds::from_minutes(30.0);
     let slots = (scale.duration() / slot).ceil() as usize;
     let mut t = Table::new(
@@ -196,10 +203,10 @@ pub fn fig6(scale: Scale) -> Vec<Table> {
     let mut columns: Vec<Vec<usize>> = Vec::new();
     for &theta in &THETAS {
         let workload = generate(&workload_cfg(scale, theta), 1).expect("valid workload");
-        let engine = vod_sim::DiskEngine::new(engine_cfg(
-            SchedulingMethod::RoundRobin,
-            SchemeKind::Dynamic,
-        ))
+        let engine = vod_sim::DiskEngine::with_observer(
+            engine_cfg(SchedulingMethod::RoundRobin, SchemeKind::Dynamic),
+            obs.clone(),
+        )
         .expect("valid engine");
         let stats = engine.run(&workload.arrivals);
         let column = (0..slots)
@@ -216,18 +223,31 @@ pub fn fig6(scale: Scale) -> Vec<Table> {
     vec![t]
 }
 
-fn estimator_row(scale: Scale, method: SchedulingMethod, t_log: Seconds, alpha: u32) -> (f64, f64) {
+/// Runs `exp` with every seed's engine reporting into `obs`.
+fn run_observed(exp: &LatencyExperiment, obs: &Obs) -> vod_sim::LatencyResult {
+    run_latency_experiment_observed(exp, &|_| obs.clone())
+        .expect("valid experiment")
+        .result
+}
+
+fn estimator_row(
+    scale: Scale,
+    method: SchedulingMethod,
+    t_log: Seconds,
+    alpha: u32,
+    obs: &Obs,
+) -> (f64, f64) {
     let mut exp = experiment(scale, method, SchemeKind::Dynamic, 0.5);
     exp.engine.t_log = t_log;
     exp.engine.params.alpha = alpha;
-    let res = run_latency_experiment(&exp).expect("valid experiment");
+    let res = run_observed(&exp, obs);
     (res.audit.mean_estimated, res.audit.success_probability)
 }
 
 /// Fig. 7: mean estimated additional requests and successful-estimation
 /// probability vs. `T_log` (α = 1), per scheduling method.
 #[must_use]
-pub fn fig7(scale: Scale) -> Vec<Table> {
+pub fn fig7(scale: Scale, obs: &Obs) -> Vec<Table> {
     let mut mean_t = Table::new(
         "Fig. 7a — mean estimated additional requests vs T_log [min] (α = 1)",
         &["t_log_min", "round_robin", "sweep", "gss"],
@@ -240,7 +260,7 @@ pub fn fig7(scale: Scale) -> Vec<Table> {
         let mut means = Vec::new();
         let mut probs = Vec::new();
         for m in SchedulingMethod::paper_methods() {
-            let (mean, prob) = estimator_row(scale, m, Seconds::from_minutes(t_log_min), 1);
+            let (mean, prob) = estimator_row(scale, m, Seconds::from_minutes(t_log_min), 1, obs);
             means.push(fmt_f64(mean));
             probs.push(fmt_f64(prob));
         }
@@ -263,7 +283,7 @@ pub fn fig7(scale: Scale) -> Vec<Table> {
 /// Fig. 8: the same quantities vs. α (T_log at the paper's choices:
 /// 40 min for Round-Robin, 20 min for Sweep\*/GSS\*).
 #[must_use]
-pub fn fig8(scale: Scale) -> Vec<Table> {
+pub fn fig8(scale: Scale, obs: &Obs) -> Vec<Table> {
     let mut mean_t = Table::new(
         "Fig. 8a — mean estimated additional requests vs α (paper T_log)",
         &["alpha", "round_robin", "sweep", "gss"],
@@ -280,7 +300,7 @@ pub fn fig8(scale: Scale) -> Vec<Table> {
                 SchedulingMethod::RoundRobin => Seconds::from_minutes(40.0),
                 _ => Seconds::from_minutes(20.0),
             };
-            let (mean, prob) = estimator_row(scale, m, t_log, alpha);
+            let (mean, prob) = estimator_row(scale, m, t_log, alpha, obs);
             means.push(fmt_f64(mean));
             probs.push(fmt_f64(prob));
         }
@@ -326,14 +346,12 @@ fn bucketed_latency(stats: &DiskRunStats, max_n: usize, width: usize) -> Vec<(us
 /// Fig. 11: average initial latency vs. streams in service (simulation,
 /// θ = 0 for full load coverage, 5 seeds), per method.
 #[must_use]
-pub fn fig11(scale: Scale) -> Vec<Table> {
+pub fn fig11(scale: Scale, obs: &Obs) -> Vec<Table> {
     SchedulingMethod::paper_methods()
         .iter()
         .map(|&m| {
-            let st = run_latency_experiment(&experiment(scale, m, SchemeKind::Static, 0.0))
-                .expect("valid experiment");
-            let dy = run_latency_experiment(&experiment(scale, m, SchemeKind::Dynamic, 0.0))
-                .expect("valid experiment");
+            let st = run_observed(&experiment(scale, m, SchemeKind::Static, 0.0), obs);
+            let dy = run_observed(&experiment(scale, m, SchemeKind::Dynamic, 0.0), obs);
             let st_b = bucketed_latency(&st.stats, 79, 5);
             let dy_b = bucketed_latency(&dy.stats, 79, 5);
             let mut t = Table::new(
@@ -371,16 +389,16 @@ pub fn fig11(scale: Scale) -> Vec<Table> {
 
 /// Fig. 14: concurrent streams vs. total memory, 10 disks (simulation).
 #[must_use]
-pub fn fig14(scale: Scale) -> Vec<Table> {
+pub fn fig14(scale: Scale, obs: &Obs) -> Vec<Table> {
     THETAS
         .iter()
-        .map(|&theta| fig14_for_theta(scale, theta).0)
+        .map(|&theta| fig14_for_theta(scale, theta, obs).0)
         .collect()
 }
 
 /// Runs Fig. 14 for one θ; returns the table and the per-memory
 /// `(static, dynamic)` means used by Table 5.
-fn fig14_for_theta(scale: Scale, theta: f64) -> (Table, Vec<(f64, f64)>) {
+fn fig14_for_theta(scale: Scale, theta: f64, obs: &Obs) -> (Table, Vec<(f64, f64)>) {
     let params = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
     let mut t = Table::new(
         format!("Fig. 14 (θ = {theta}) — concurrent streams vs memory, 10 disks (simulation)"),
@@ -396,13 +414,16 @@ fn fig14_for_theta(scale: Scale, theta: f64) -> (Table, Vec<(f64, f64)>) {
                 wl_cfg.duration = scale.duration();
                 wl_cfg.peak = scale.peak();
                 let workload = generate(&wl_cfg, seed).expect("valid workload");
-                let sim = CapacitySim::new(CapacityConfig {
-                    params: params.clone(),
-                    scheme: *scheme,
-                    disks: 10,
-                    total_memory: Bits::from_gigabytes(f64::from(gb)),
-                    t_log: Seconds::from_minutes(40.0),
-                })
+                let sim = CapacitySim::with_observer(
+                    CapacityConfig {
+                        params: params.clone(),
+                        scheme: *scheme,
+                        disks: 10,
+                        total_memory: Bits::from_gigabytes(f64::from(gb)),
+                        t_log: Seconds::from_minutes(40.0),
+                    },
+                    obs.clone(),
+                )
                 .expect("valid capacity config");
                 total += sim.run(&workload).max_concurrent as f64;
             }
@@ -422,7 +443,7 @@ fn fig14_for_theta(scale: Scale, theta: f64) -> (Table, Vec<(f64, f64)>) {
 /// static, per θ × scheduling method (ratios averaged over the per-n
 /// buckets of Fig. 11, as the paper averages over load levels).
 #[must_use]
-pub fn tab4(scale: Scale) -> Vec<Table> {
+pub fn tab4(scale: Scale, obs: &Obs) -> Vec<Table> {
     let mut t = Table::new(
         "Table 4 — average reduction ratio of initial latency (static/dynamic)",
         &["theta", "round_robin", "sweep", "gss"],
@@ -430,10 +451,8 @@ pub fn tab4(scale: Scale) -> Vec<Table> {
     for &theta in &THETAS {
         let mut cells = Vec::new();
         for m in SchedulingMethod::paper_methods() {
-            let st = run_latency_experiment(&experiment(scale, m, SchemeKind::Static, theta))
-                .expect("valid experiment");
-            let dy = run_latency_experiment(&experiment(scale, m, SchemeKind::Dynamic, theta))
-                .expect("valid experiment");
+            let st = run_observed(&experiment(scale, m, SchemeKind::Static, theta), obs);
+            let dy = run_observed(&experiment(scale, m, SchemeKind::Dynamic, theta), obs);
             let st_b = bucketed_latency(&st.stats, 79, 5);
             let dy_b = bucketed_latency(&dy.stats, 79, 5);
             let mut ratios = Vec::new();
@@ -464,13 +483,13 @@ pub fn tab4(scale: Scale) -> Vec<Table> {
 /// Table 5: average improvement ratio of concurrent streams, dynamic vs.
 /// static, per θ (averaged over the Fig. 14 memory sizes).
 #[must_use]
-pub fn tab5(scale: Scale) -> Vec<Table> {
+pub fn tab5(scale: Scale, obs: &Obs) -> Vec<Table> {
     let mut t = Table::new(
         "Table 5 — average improvement ratio of concurrent streams (dynamic/static)",
         &["theta", "improvement"],
     );
     for &theta in &THETAS {
-        let (_, pairs) = fig14_for_theta(scale, theta);
+        let (_, pairs) = fig14_for_theta(scale, theta, obs);
         let ratios: Vec<f64> = pairs
             .iter()
             .filter(|(s, _)| *s > 0.0)
@@ -510,7 +529,7 @@ pub fn gss_g() -> Vec<Table> {
 /// Extension experiment `vcr`: initial latency under a VCR-happy audience
 /// (every skip is a new request — §1's motivation for minimizing IL).
 #[must_use]
-pub fn vcr(scale: Scale) -> Vec<Table> {
+pub fn vcr(scale: Scale, obs: &Obs) -> Vec<Table> {
     use vod_workload::{with_vcr_actions, VcrConfig};
     let mut t = Table::new(
         "Extension — VCR responsiveness (mean / p95 initial latency, s)",
@@ -519,9 +538,12 @@ pub fn vcr(scale: Scale) -> Vec<Table> {
     let base = generate(&workload_cfg(scale, 1.0), 21).expect("valid workload");
     let fidgety = with_vcr_actions(&base, VcrConfig::fidgety(), 9).expect("valid VCR config");
     for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
-        let stats = vod_sim::DiskEngine::new(engine_cfg(SchedulingMethod::RoundRobin, scheme))
-            .expect("valid engine")
-            .run(&fidgety.arrivals);
+        let stats = vod_sim::DiskEngine::with_observer(
+            engine_cfg(SchedulingMethod::RoundRobin, scheme),
+            obs.clone(),
+        )
+        .expect("valid engine")
+        .run(&fidgety.arrivals);
         t.row(&[
             scheme.label().into(),
             stats.admitted.to_string(),
@@ -567,9 +589,25 @@ mod tests {
 
     #[test]
     fn fig6_quick_produces_the_time_series() {
-        let tables = fig6(Scale::Quick);
+        let tables = fig6(Scale::Quick, &Obs::null());
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].len(), 12); // 6 h / 30 min
+    }
+
+    #[test]
+    fn fig6_recorder_sees_cycle_service_and_admission_events() {
+        use std::sync::Arc;
+        use vod_obs::{EventKind, RecorderSink};
+
+        let plain = fig6(Scale::Quick, &Obs::null());
+        let sink = Arc::new(RecorderSink::new());
+        let observed = fig6(Scale::Quick, &Obs::new(sink.clone()));
+        // Instrumentation must not change the rendered table.
+        assert_eq!(plain[0].render(), observed[0].render());
+        let snap = sink.snapshot();
+        assert!(snap.counter(EventKind::CyclePlanned) > 0);
+        assert!(snap.counter(EventKind::StreamServiced) > 0);
+        assert!(snap.counter(EventKind::RequestAdmitted) > 0);
     }
 
     #[test]
@@ -582,7 +620,7 @@ mod tests {
 
     #[test]
     fn vcr_extension_runs_clean_at_quick_scale() {
-        let t = &vcr(Scale::Quick)[0];
+        let t = &vcr(Scale::Quick, &Obs::null())[0];
         assert_eq!(t.len(), 2);
         let rendered = t.render();
         // Both schemes must report zero underflows in the last column.
@@ -593,7 +631,7 @@ mod tests {
 
     #[test]
     fn fig14_quick_shows_dynamic_advantage_under_tight_memory() {
-        let (_, pairs) = fig14_for_theta(Scale::Quick, 0.0);
+        let (_, pairs) = fig14_for_theta(Scale::Quick, 0.0, &Obs::null());
         // At 2 GB (index 1) dynamic must beat static clearly.
         let (st, dy) = pairs[1];
         assert!(dy > st * 1.3, "static {st}, dynamic {dy}");

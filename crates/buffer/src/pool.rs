@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use vod_types::{Bits, ConfigError, RequestId, VodError};
+use vod_obs::{Event, EventKind, Obs};
+use vod_types::{Bits, ConfigError, Instant, RequestId, VodError};
 
 /// Allocation granularity of the pool.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -99,6 +100,9 @@ struct Inner {
     peak: Bits,
     fills: u64,
     underflows: u64,
+    /// Simulated clock stamped onto emitted events (the pool itself has
+    /// no notion of time; the driver advances it via [`BufferPool::set_time`]).
+    now: Instant,
 }
 
 /// The shared memory pool backing every stream's buffer.
@@ -110,6 +114,7 @@ struct Inner {
 pub struct BufferPool {
     config: PoolConfig,
     inner: Mutex<Inner>,
+    obs: Obs,
 }
 
 impl BufferPool {
@@ -119,11 +124,31 @@ impl BufferPool {
     ///
     /// Returns [`ConfigError`] for an invalid configuration.
     pub fn new(config: PoolConfig) -> Result<Self, ConfigError> {
+        Self::with_observer(config, Obs::null())
+    }
+
+    /// Creates a pool with an observability handle attached;
+    /// [`Event::PoolOccupancy`] is emitted at every new occupancy
+    /// high-water mark, stamped with the clock last set via
+    /// [`Self::set_time`]. Emission never alters pool accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid configuration.
+    pub fn with_observer(config: PoolConfig, obs: Obs) -> Result<Self, ConfigError> {
         config.validate()?;
         Ok(BufferPool {
             config,
             inner: Mutex::new(Inner::default()),
+            obs,
         })
+    }
+
+    /// Advances the simulated clock stamped onto emitted events. The pool
+    /// has no clock of its own — wall time would break the determinism
+    /// guarantee — so the driver pushes it in.
+    pub fn set_time(&self, now: Instant) {
+        self.inner.lock().now = now;
     }
 
     /// The pool's configuration.
@@ -202,8 +227,17 @@ impl BufferPool {
         entry.data = new_data;
         entry.held = new_held;
         inner.used += delta;
-        inner.peak = inner.peak.max(inner.used);
         inner.fills += 1;
+        if inner.used > inner.peak {
+            inner.peak = inner.used;
+            self.obs
+                .emit_with(EventKind::PoolOccupancy, || Event::PoolOccupancy {
+                    at: inner.now,
+                    used: inner.used,
+                    peak: inner.peak,
+                    streams: inner.accounts.len(),
+                });
+        }
         Ok(())
     }
 
@@ -452,6 +486,25 @@ mod tests {
         pool.register(R0).expect("fresh");
         assert!(pool.fill(R0, Bits::new(-5.0)).is_err());
         assert!(pool.consume(R0, Bits::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn pool_emits_occupancy_high_water_events() {
+        let rec = std::sync::Arc::new(vod_obs::RecorderSink::new());
+        let pool = BufferPool::with_observer(PoolConfig::unbounded(), Obs::new(rec.clone()))
+            .expect("valid config");
+        pool.register(R0).expect("fresh");
+        pool.set_time(Instant::from_secs(5.0));
+        pool.fill(R0, Bits::new(100.0)).expect("fill"); // new peak
+        pool.consume(R0, Bits::new(50.0)).expect("enough");
+        pool.fill(R0, Bits::new(20.0)).expect("fill"); // below peak: no event
+        pool.fill(R0, Bits::new(80.0)).expect("fill"); // new peak
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(EventKind::PoolOccupancy), 2);
+        assert!(matches!(
+            snap.events()[0],
+            Event::PoolOccupancy { at, streams: 1, .. } if at == Instant::from_secs(5.0)
+        ));
     }
 
     #[test]

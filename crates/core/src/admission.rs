@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use vod_obs::{Event, EventKind, Obs};
 use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VodError};
 
 use crate::estimator::ArrivalLog;
@@ -52,6 +53,7 @@ pub struct AdmissionController {
     log: ArrivalLog,
     records: HashMap<RequestId, Record>,
     deferrals: u64,
+    obs: Obs,
 }
 
 impl AdmissionController {
@@ -73,7 +75,15 @@ impl AdmissionController {
             log: ArrivalLog::new(t_log),
             records: HashMap::new(),
             deferrals: 0,
+            obs: Obs::null(),
         })
+    }
+
+    /// Attaches an observability handle; [`Event::EstimatorClamped`] is
+    /// emitted whenever Assumption 2 (or the disk bound) caps the `k`
+    /// estimate below `k_log + α`. Emission never alters the estimate.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The parameter set.
@@ -189,6 +199,15 @@ impl AdmissionController {
             .min()
             .unwrap_or(usize::MAX);
         let k_c = (k_log + alpha).min(k_cap).min(self.params.max_requests());
+        if k_c < k_log + alpha {
+            self.obs
+                .emit_with(EventKind::EstimatorClamped, || Event::EstimatorClamped {
+                    at: now,
+                    k_log,
+                    k_clamped: k_c,
+                    cap: k_cap.min(self.params.max_requests()),
+                });
+        }
         (k_c, k_log)
     }
 
@@ -346,6 +365,38 @@ mod tests {
             .expect("admitted");
         assert!(alloc.k_log >= 10, "burst visible to the estimator");
         assert_eq!(alloc.k, 3, "clamped to k_0 + α");
+    }
+
+    #[test]
+    fn clamping_emits_estimator_event() {
+        let rec = std::sync::Arc::new(vod_obs::RecorderSink::new());
+        let mut c = controller();
+        c.set_observer(Obs::new(rec.clone()));
+        let t0 = Instant::ZERO;
+        // R0 allocated with k_c = 2; a burst then pushes k_log above the
+        // Assumption-2 cap k_0 + α = 3, forcing a clamp.
+        c.note_arrival(t0);
+        c.admit(r(0)).expect("idle");
+        c.allocate(r(0), t0, PERIOD).expect("admitted");
+        assert_eq!(
+            rec.snapshot().counter(EventKind::EstimatorClamped),
+            0,
+            "unclamped estimate must not emit"
+        );
+        for i in 1..=10 {
+            c.note_arrival(t0 + Seconds::from_millis(f64::from(i)));
+        }
+        c.admit(r(1)).expect("bound 3 admits n=2");
+        let alloc = c
+            .allocate(r(1), t0 + Seconds::from_secs(1.0), PERIOD)
+            .expect("admitted");
+        assert_eq!(alloc.k, 3);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(EventKind::EstimatorClamped), 1);
+        assert!(matches!(
+            snap.events()[0],
+            Event::EstimatorClamped { k_clamped: 3, cap: 3, k_log, .. } if k_log >= 10
+        ));
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Typed engine-lifecycle events.
+
+use core::fmt;
+
+use vod_types::{Bits, Instant, RequestId, Seconds};
+
+use crate::json;
+
+/// Why a request was rejected outright (as opposed to deferred).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The disk is at its stream bound `N` (queued requests included).
+    DiskFull,
+    /// The memory reservation for one more stream does not fit the budget.
+    MemoryFull,
+    /// The admission queue was drained at end of run (unreachable load).
+    QueueDropped,
+}
+
+impl RejectReason {
+    /// Stable snake_case label (used in JSON and stderr output).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::DiskFull => "disk_full",
+            RejectReason::MemoryFull => "memory_full",
+            RejectReason::QueueDropped => "queue_dropped",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The discriminant of an [`Event`], used for filtering and counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A service cycle was planned and is about to start.
+    CyclePlanned,
+    /// One stream's buffer was refilled.
+    StreamServiced,
+    /// A queued request entered service.
+    RequestAdmitted,
+    /// Admission of the queue head was deferred (inertia assumptions).
+    RequestDeferred,
+    /// An arriving request was rejected outright.
+    RequestRejected,
+    /// A stream's first buffer was allocated.
+    BufferAllocated,
+    /// A live stream's allocation changed size.
+    BufferResized,
+    /// A departing stream's buffer was released.
+    BufferFreed,
+    /// The `k` estimate was clamped by Assumption 2 or the disk bound.
+    EstimatorClamped,
+    /// A stream consumed past its buffered data.
+    Underflow,
+    /// The buffer pool reached a new occupancy high-water mark.
+    PoolOccupancy,
+}
+
+impl EventKind {
+    /// Number of distinct kinds.
+    pub const COUNT: usize = 11;
+
+    /// Every kind, in index order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::CyclePlanned,
+        EventKind::StreamServiced,
+        EventKind::RequestAdmitted,
+        EventKind::RequestDeferred,
+        EventKind::RequestRejected,
+        EventKind::BufferAllocated,
+        EventKind::BufferResized,
+        EventKind::BufferFreed,
+        EventKind::EstimatorClamped,
+        EventKind::Underflow,
+        EventKind::PoolOccupancy,
+    ];
+
+    /// Dense index (0-based, stable within a release).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::CyclePlanned => 0,
+            EventKind::StreamServiced => 1,
+            EventKind::RequestAdmitted => 2,
+            EventKind::RequestDeferred => 3,
+            EventKind::RequestRejected => 4,
+            EventKind::BufferAllocated => 5,
+            EventKind::BufferResized => 6,
+            EventKind::BufferFreed => 7,
+            EventKind::EstimatorClamped => 8,
+            EventKind::Underflow => 9,
+            EventKind::PoolOccupancy => 10,
+        }
+    }
+
+    /// Stable snake_case label (the `kind` field of the JSONL output).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::CyclePlanned => "cycle_planned",
+            EventKind::StreamServiced => "stream_serviced",
+            EventKind::RequestAdmitted => "request_admitted",
+            EventKind::RequestDeferred => "request_deferred",
+            EventKind::RequestRejected => "request_rejected",
+            EventKind::BufferAllocated => "buffer_allocated",
+            EventKind::BufferResized => "buffer_resized",
+            EventKind::BufferFreed => "buffer_freed",
+            EventKind::EstimatorClamped => "estimator_clamped",
+            EventKind::Underflow => "underflow",
+            EventKind::PoolOccupancy => "pool_occupancy",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One engine-lifecycle event.
+///
+/// Every timestamp is **simulated** time — the event path never reads the
+/// wall clock, so instrumented runs stay deterministic and replayable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// A service cycle is about to start.
+    CyclePlanned {
+        /// Current simulated time when the plan was made.
+        at: Instant,
+        /// When the cycle actually starts (≥ `at`).
+        start: Instant,
+        /// The planner's latest provably safe start (may precede `at`).
+        planned: Instant,
+        /// Streams in service.
+        n: usize,
+        /// Earliest buffer-drain deadline among live streams.
+        due_min: Option<Instant>,
+        /// Mid-cycle insertions the start time budgeted for.
+        insertion_budget: usize,
+    },
+    /// One stream's buffer was refilled.
+    StreamServiced {
+        /// Completion time of the service (seek + transfer).
+        at: Instant,
+        /// The serviced stream.
+        id: RequestId,
+        /// `n_c` used for the allocation.
+        n: usize,
+        /// `k_c` used for the allocation.
+        k: usize,
+        /// Data read from disk.
+        read: Bits,
+        /// Allocated buffer size.
+        size: Bits,
+        /// Duration of the service (disk latency + transfer).
+        duration: Seconds,
+        /// True when this was the stream's first fill.
+        first_fill: bool,
+    },
+    /// A queued request entered service.
+    RequestAdmitted {
+        /// Admission time.
+        at: Instant,
+        /// The admitted request.
+        id: RequestId,
+        /// Streams in service after admission.
+        n: usize,
+        /// Queue wait: admission − arrival.
+        waited: Seconds,
+    },
+    /// Admission of the queue head was deferred.
+    RequestDeferred {
+        /// Time of the failed attempt.
+        at: Instant,
+        /// The deferred request.
+        id: RequestId,
+        /// Streams in service at the attempt.
+        n: usize,
+    },
+    /// An arriving request was rejected outright.
+    RequestRejected {
+        /// Rejection time.
+        at: Instant,
+        /// Streams in service (queued included, as admission counts them).
+        n: usize,
+        /// Why the request could not be taken.
+        reason: RejectReason,
+    },
+    /// A stream's first buffer was allocated.
+    BufferAllocated {
+        /// Allocation time.
+        at: Instant,
+        /// The owning stream.
+        id: RequestId,
+        /// Allocated size.
+        size: Bits,
+    },
+    /// A live stream's allocation changed size.
+    BufferResized {
+        /// Reallocation time.
+        at: Instant,
+        /// The owning stream.
+        id: RequestId,
+        /// Previous allocation.
+        old_size: Bits,
+        /// New allocation.
+        new_size: Bits,
+    },
+    /// A departing stream's buffer was released.
+    BufferFreed {
+        /// Departure time.
+        at: Instant,
+        /// The departing stream.
+        id: RequestId,
+        /// Data still held at departure (released to the pool).
+        released: Bits,
+    },
+    /// The `k` estimate was clamped below `k_log + α`.
+    EstimatorClamped {
+        /// Estimation time.
+        at: Instant,
+        /// Raw `k_log` from the arrival log.
+        k_log: usize,
+        /// `k_c` after clamping.
+        k_clamped: usize,
+        /// The binding cap (`min_i (k_i + α)` or the disk bound `N`).
+        cap: usize,
+    },
+    /// A stream consumed past its buffered data.
+    Underflow {
+        /// Time the deficit was observed.
+        at: Instant,
+        /// The starved stream.
+        id: RequestId,
+        /// Streams in service.
+        n: usize,
+        /// Unserved consumption.
+        deficit: Bits,
+    },
+    /// The pool reached a new occupancy high-water mark.
+    PoolOccupancy {
+        /// Observation time.
+        at: Instant,
+        /// Occupancy at the observation (the new peak).
+        used: Bits,
+        /// High-water mark (equals `used` on high-water events).
+        peak: Bits,
+        /// Streams holding buffers.
+        streams: usize,
+    },
+}
+
+impl Event {
+    /// The event's kind.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::CyclePlanned { .. } => EventKind::CyclePlanned,
+            Event::StreamServiced { .. } => EventKind::StreamServiced,
+            Event::RequestAdmitted { .. } => EventKind::RequestAdmitted,
+            Event::RequestDeferred { .. } => EventKind::RequestDeferred,
+            Event::RequestRejected { .. } => EventKind::RequestRejected,
+            Event::BufferAllocated { .. } => EventKind::BufferAllocated,
+            Event::BufferResized { .. } => EventKind::BufferResized,
+            Event::BufferFreed { .. } => EventKind::BufferFreed,
+            Event::EstimatorClamped { .. } => EventKind::EstimatorClamped,
+            Event::Underflow { .. } => EventKind::Underflow,
+            Event::PoolOccupancy { .. } => EventKind::PoolOccupancy,
+        }
+    }
+
+    /// Simulated time of the event.
+    #[must_use]
+    pub fn at(&self) -> Instant {
+        match *self {
+            Event::CyclePlanned { at, .. }
+            | Event::StreamServiced { at, .. }
+            | Event::RequestAdmitted { at, .. }
+            | Event::RequestDeferred { at, .. }
+            | Event::RequestRejected { at, .. }
+            | Event::BufferAllocated { at, .. }
+            | Event::BufferResized { at, .. }
+            | Event::BufferFreed { at, .. }
+            | Event::EstimatorClamped { at, .. }
+            | Event::Underflow { at, .. }
+            | Event::PoolOccupancy { at, .. } => at,
+        }
+    }
+
+    /// One-line JSON object (no trailing newline) for JSONL export.
+    ///
+    /// Instants and durations are seconds, data sizes are bits; the first
+    /// field is always `"kind"`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = json::Object::new();
+        o.str("kind", self.kind().label());
+        o.num("t", self.at().as_secs_f64());
+        match *self {
+            Event::CyclePlanned {
+                start,
+                planned,
+                n,
+                due_min,
+                insertion_budget,
+                ..
+            } => {
+                o.num("start", start.as_secs_f64());
+                o.num("planned", planned.as_secs_f64());
+                o.uint("n", n as u64);
+                match due_min {
+                    Some(d) => o.num("due_min", d.as_secs_f64()),
+                    None => o.null("due_min"),
+                }
+                // usize::MAX means "unconstrained"; emit null for clarity.
+                if insertion_budget == usize::MAX {
+                    o.null("insertion_budget");
+                } else {
+                    o.uint("insertion_budget", insertion_budget as u64);
+                }
+            }
+            Event::StreamServiced {
+                id,
+                n,
+                k,
+                read,
+                size,
+                duration,
+                first_fill,
+                ..
+            } => {
+                o.uint("id", id.raw());
+                o.uint("n", n as u64);
+                o.uint("k", k as u64);
+                o.num("read_bits", read.as_f64());
+                o.num("size_bits", size.as_f64());
+                o.num("duration_s", duration.as_secs_f64());
+                o.bool("first_fill", first_fill);
+            }
+            Event::RequestAdmitted { id, n, waited, .. } => {
+                o.uint("id", id.raw());
+                o.uint("n", n as u64);
+                o.num("waited_s", waited.as_secs_f64());
+            }
+            Event::RequestDeferred { id, n, .. } => {
+                o.uint("id", id.raw());
+                o.uint("n", n as u64);
+            }
+            Event::RequestRejected { n, reason, .. } => {
+                o.uint("n", n as u64);
+                o.str("reason", reason.label());
+            }
+            Event::BufferAllocated { id, size, .. } => {
+                o.uint("id", id.raw());
+                o.num("size_bits", size.as_f64());
+            }
+            Event::BufferResized {
+                id,
+                old_size,
+                new_size,
+                ..
+            } => {
+                o.uint("id", id.raw());
+                o.num("old_size_bits", old_size.as_f64());
+                o.num("new_size_bits", new_size.as_f64());
+            }
+            Event::BufferFreed { id, released, .. } => {
+                o.uint("id", id.raw());
+                o.num("released_bits", released.as_f64());
+            }
+            Event::EstimatorClamped {
+                k_log,
+                k_clamped,
+                cap,
+                ..
+            } => {
+                o.uint("k_log", k_log as u64);
+                o.uint("k_clamped", k_clamped as u64);
+                o.uint("cap", cap as u64);
+            }
+            Event::Underflow { id, n, deficit, .. } => {
+                o.uint("id", id.raw());
+                o.uint("n", n as u64);
+                o.num("deficit_bits", deficit.as_f64());
+            }
+            Event::PoolOccupancy {
+                used,
+                peak,
+                streams,
+                ..
+            } => {
+                o.num("used_bits", used.as_f64());
+                o.num("peak_bits", peak.as_f64());
+                o.uint("streams", streams as u64);
+            }
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_index_densely() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = EventKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), EventKind::COUNT);
+    }
+
+    #[test]
+    fn json_has_kind_and_time() {
+        let e = Event::Underflow {
+            at: Instant::from_secs(12.5),
+            id: RequestId::new(7),
+            n: 3,
+            deficit: Bits::new(64.0),
+        };
+        let j = e.to_json();
+        assert!(j.starts_with("{\"kind\":\"underflow\""), "{j}");
+        assert!(j.contains("\"t\":12.5"), "{j}");
+        assert!(j.contains("\"id\":7"), "{j}");
+        assert!(j.contains("\"deficit_bits\":64"), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn unbounded_insertion_budget_is_null() {
+        let e = Event::CyclePlanned {
+            at: Instant::ZERO,
+            start: Instant::ZERO,
+            planned: Instant::ZERO,
+            n: 0,
+            due_min: None,
+            insertion_budget: usize::MAX,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"insertion_budget\":null"), "{j}");
+        assert!(j.contains("\"due_min\":null"), "{j}");
+    }
+}

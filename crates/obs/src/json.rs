@@ -1,0 +1,173 @@
+//! Minimal hand-rolled JSON emission (no external dependencies).
+//!
+//! Only what the observability layer needs: objects and arrays built
+//! field-by-field, with correct string escaping and `null` for
+//! non-finite floats. Output is compact (no whitespace), one value per
+//! call to [`Object::finish`] / [`Array::finish`].
+
+use core::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number, or `null` when non-finite.
+#[must_use]
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips,
+        // which is always a valid JSON number for finite values.
+        format!("{x:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct Object {
+    buf: String,
+}
+
+impl Object {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Object { buf: String::new() }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+    }
+
+    /// Adds a numeric field (`null` when non-finite).
+    pub fn num(&mut self, name: &str, value: f64) {
+        self.key(name);
+        self.buf.push_str(&number(value));
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn uint(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Adds a `null` field.
+    pub fn null(&mut self, name: &str) {
+        self.key(name);
+        self.buf.push_str("null");
+    }
+
+    /// Adds a field whose value is pre-rendered JSON (object, array, …).
+    pub fn raw(&mut self, name: &str, rendered: &str) {
+        self.key(name);
+        self.buf.push_str(rendered);
+    }
+
+    /// Renders the object.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// An incremental JSON array builder.
+#[derive(Debug, Default)]
+pub struct Array {
+    buf: String,
+}
+
+impl Array {
+    /// Starts an empty array.
+    #[must_use]
+    pub fn new() -> Self {
+        Array { buf: String::new() }
+    }
+
+    /// Appends a pre-rendered JSON value.
+    pub fn raw(&mut self, rendered: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(rendered);
+    }
+
+    /// Appends a numeric element (`null` when non-finite).
+    pub fn num(&mut self, value: f64) {
+        self.raw(&number(value));
+    }
+
+    /// Renders the array.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_characters_and_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_is_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let mut inner = Array::new();
+        inner.num(1.0);
+        inner.num(2.5);
+        let mut o = Object::new();
+        o.str("name", "x");
+        o.uint("count", 3);
+        o.bool("ok", true);
+        o.null("missing");
+        o.raw("values", &inner.finish());
+        assert_eq!(
+            o.finish(),
+            "{\"name\":\"x\",\"count\":3,\"ok\":true,\"missing\":null,\"values\":[1.0,2.5]}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Structured observability for the VOD engine.
+//!
+//! The simulators and the admission controller emit typed [`Event`]s
+//! describing the engine lifecycle — cycles planned, streams serviced,
+//! requests admitted/deferred/rejected, buffers allocated/resized/freed,
+//! estimator clamps, underflows, and pool-occupancy high-water marks —
+//! into a [`Sink`]. Three sinks ship with the crate:
+//!
+//! * [`NullSink`] — records nothing; with no sink attached the
+//!   [`Obs`] handle's `enabled()` fast path makes instrumentation
+//!   near-free (a single `Option` check, no event construction).
+//! * [`StderrSink`] — human-readable lines on stderr, filtered by an
+//!   [`EventMask`]. [`StderrSink::from_env`] honours the historical
+//!   `VOD_DEBUG_CYCLE`, `VOD_DEBUG_SVC`, and `VOD_DEBUG_UNDERFLOW`
+//!   environment variables as kind filters.
+//! * [`RecorderSink`] — an in-memory recorder with bounded event
+//!   capacity, per-kind counters, fixed-bucket histograms (service
+//!   latency, cycle slack, pool occupancy), and JSONL export.
+//!
+//! # Determinism
+//!
+//! Events carry only simulated time ([`vod_types::Instant`]) and values
+//! the engine already computed; emission never feeds back into the
+//! simulation. A run with any sink attached is bit-identical to a run
+//! with none — `vod-sim` asserts this in its test suite.
+//!
+//! # No external dependencies
+//!
+//! JSON is hand-rolled ([`json`]); the recorder uses `std::sync::Mutex`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{Event, EventKind, RejectReason};
+pub use recorder::{
+    Histogram, HistogramSnapshot, RecorderSink, RecorderSnapshot, HIST_CYCLE_SLACK,
+    HIST_POOL_OCCUPANCY, HIST_SERVICE_LATENCY,
+};
+pub use sink::{EventMask, NullSink, Obs, Sink, StderrSink};

@@ -1,0 +1,432 @@
+//! The in-memory [`RecorderSink`]: bounded event capture, per-kind
+//! counters, and fixed-bucket histograms, with JSON/JSONL export.
+
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind};
+use crate::json;
+use crate::sink::Sink;
+
+/// A fixed-bucket histogram.
+///
+/// `bounds` are inclusive upper bucket edges in ascending order; a value
+/// `x` lands in the first bucket with `x <= bound`, and values above the
+/// last bound land in a final overflow bucket, so `counts.len() ==
+/// bounds.len() + 1`. Exact min/max/sum are tracked alongside.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    name: &'static str,
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A new histogram named `name` with the given ascending bucket edges.
+    #[must_use]
+    pub fn new(name: &'static str, bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            name,
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| x <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// An immutable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name,
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: (self.count > 0).then_some(self.min),
+            max: (self.count > 0).then_some(self.max),
+        }
+    }
+}
+
+/// An immutable view of a [`Histogram`] at snapshot time.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// The histogram's name (e.g. `service_latency_s`).
+    pub name: &'static str,
+    /// Inclusive upper bucket edges, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation, `None` when empty.
+    pub min: Option<f64>,
+    /// Largest observation, `None` when empty.
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Renders the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut bounds = json::Array::new();
+        for &b in &self.bounds {
+            bounds.num(b);
+        }
+        let mut counts = json::Array::new();
+        for &c in &self.counts {
+            counts.raw(&c.to_string());
+        }
+        let mut o = json::Object::new();
+        o.uint("count", self.count);
+        o.num("sum", self.sum);
+        match self.min {
+            Some(v) => o.num("min", v),
+            None => o.null("min"),
+        }
+        match self.max {
+            Some(v) => o.num("max", v),
+            None => o.null("max"),
+        }
+        match self.mean() {
+            Some(v) => o.num("mean", v),
+            None => o.null("mean"),
+        }
+        o.raw("bounds", &bounds.finish());
+        o.raw("counts", &counts.finish());
+        o.finish()
+    }
+}
+
+/// Name of the recorder's service-latency histogram (seconds).
+pub const HIST_SERVICE_LATENCY: &str = "service_latency_s";
+/// Name of the recorder's cycle-slack histogram (seconds).
+pub const HIST_CYCLE_SLACK: &str = "cycle_slack_s";
+/// Name of the recorder's pool-occupancy histogram (MiB).
+pub const HIST_POOL_OCCUPANCY: &str = "pool_occupancy_mib";
+
+struct RecorderState {
+    counters: [u64; EventKind::COUNT],
+    events: Vec<Event>,
+    dropped: u64,
+    service_latency: Histogram,
+    cycle_slack: Histogram,
+    pool_occupancy: Histogram,
+}
+
+/// An in-memory sink: counts every event, histograms the interesting
+/// distributions, and keeps up to `capacity` raw events for JSONL export
+/// (overflow is counted, not silently discarded).
+///
+/// Thread-safe via an internal `std::sync::Mutex` — safe to share across
+/// the multi-seed runner's worker threads.
+pub struct RecorderSink {
+    state: Mutex<RecorderState>,
+    capacity: usize,
+}
+
+/// Default bounded event capacity (events beyond this are counted as
+/// dropped but still feed counters and histograms).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+impl RecorderSink {
+    /// A recorder holding up to [`DEFAULT_CAPACITY`] raw events.
+    #[must_use]
+    pub fn new() -> Self {
+        RecorderSink::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A recorder holding up to `capacity` raw events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        RecorderSink {
+            state: Mutex::new(RecorderState {
+                counters: [0; EventKind::COUNT],
+                events: Vec::with_capacity(capacity.min(4096)),
+                dropped: 0,
+                service_latency: Histogram::new(
+                    HIST_SERVICE_LATENCY,
+                    &[
+                        0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+                    ],
+                ),
+                cycle_slack: Histogram::new(
+                    HIST_CYCLE_SLACK,
+                    &[0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+                ),
+                pool_occupancy: Histogram::new(
+                    HIST_POOL_OCCUPANCY,
+                    &[
+                        16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+                    ],
+                ),
+            }),
+            capacity,
+        }
+    }
+
+    /// An immutable copy of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> RecorderSnapshot {
+        let st = self.state.lock().expect("recorder mutex poisoned");
+        RecorderSnapshot {
+            counters: st.counters,
+            events: st.events.clone(),
+            dropped: st.dropped,
+            histograms: vec![
+                st.service_latency.snapshot(),
+                st.cycle_slack.snapshot(),
+                st.pool_occupancy.snapshot(),
+            ],
+        }
+    }
+}
+
+impl Default for RecorderSink {
+    fn default() -> Self {
+        RecorderSink::new()
+    }
+}
+
+impl Sink for RecorderSink {
+    fn enabled(&self, _kind: EventKind) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        let mut st = self.state.lock().expect("recorder mutex poisoned");
+        st.counters[event.kind().index()] += 1;
+        match *event {
+            Event::StreamServiced { duration, .. } => {
+                st.service_latency.record(duration.as_secs_f64());
+            }
+            Event::CyclePlanned {
+                start,
+                due_min: Some(due),
+                ..
+            } => {
+                st.cycle_slack.record((due - start).as_secs_f64());
+            }
+            Event::PoolOccupancy { used, .. } => {
+                st.pool_occupancy.record(used.as_mebibytes());
+            }
+            _ => {}
+        }
+        if st.events.len() < self.capacity {
+            st.events.push(*event);
+        } else {
+            st.dropped += 1;
+        }
+    }
+}
+
+/// An immutable view of a [`RecorderSink`] at snapshot time.
+#[derive(Clone, Debug)]
+pub struct RecorderSnapshot {
+    counters: [u64; EventKind::COUNT],
+    events: Vec<Event>,
+    dropped: u64,
+    histograms: Vec<HistogramSnapshot>,
+}
+
+impl RecorderSnapshot {
+    /// Number of events of `kind` recorded (dropped events included).
+    #[must_use]
+    pub fn counter(&self, kind: EventKind) -> u64 {
+        self.counters[kind.index()]
+    }
+
+    /// Raw events retained (at most the recorder's capacity).
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events that exceeded capacity (counted and histogrammed, not kept).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The three built-in histograms: service latency, cycle slack, and
+    /// pool occupancy.
+    #[must_use]
+    pub fn histograms(&self) -> &[HistogramSnapshot] {
+        &self.histograms
+    }
+
+    /// The named histogram, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders counters and histograms (not raw events) as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = json::Object::new();
+        for k in EventKind::ALL {
+            counters.uint(k.label(), self.counter(k));
+        }
+        let mut hists = json::Object::new();
+        for h in &self.histograms {
+            hists.raw(h.name, &h.to_json());
+        }
+        let mut o = json::Object::new();
+        o.raw("counters", &counters.finish());
+        o.uint("events_recorded", self.events.len() as u64);
+        o.uint("events_dropped", self.dropped);
+        o.raw("histograms", &hists.finish());
+        o.finish()
+    }
+
+    /// Renders the retained events as JSONL (one event per line, trailing
+    /// newline included when non-empty).
+    #[must_use]
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::{Bits, Instant, RequestId, Seconds};
+
+    fn underflow(t: f64) -> Event {
+        Event::Underflow {
+            at: Instant::from_secs(t),
+            id: RequestId::new(1),
+            n: 1,
+            deficit: Bits::new(8.0),
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new("h", &[1.0, 2.0]);
+        h.record(0.5); // bucket 0
+        h.record(1.0); // bucket 0 (inclusive edge)
+        h.record(1.5); // bucket 1
+        h.record(9.0); // overflow
+        h.record(f64::NAN); // ignored
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, Some(0.5));
+        assert_eq!(s.max, Some(9.0));
+        assert_eq!(s.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let s = Histogram::new("h", &[1.0]).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.mean(), None);
+        assert!(s.to_json().contains("\"min\":null"));
+    }
+
+    #[test]
+    fn recorder_counts_and_bounds_events() {
+        let rec = RecorderSink::with_capacity(2);
+        for t in 0..4 {
+            rec.record(&underflow(f64::from(t)));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.counter(EventKind::Underflow), 4);
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.dropped(), 2);
+        let jsonl = s.export_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with("{\"kind\":\"underflow\"")));
+    }
+
+    #[test]
+    fn recorder_feeds_histograms() {
+        let rec = RecorderSink::new();
+        rec.record(&Event::StreamServiced {
+            at: Instant::from_secs(1.0),
+            id: RequestId::new(1),
+            n: 2,
+            k: 1,
+            read: Bits::new(100.0),
+            size: Bits::new(200.0),
+            duration: Seconds::from_secs(0.15),
+            first_fill: true,
+        });
+        rec.record(&Event::CyclePlanned {
+            at: Instant::ZERO,
+            start: Instant::from_secs(1.0),
+            planned: Instant::ZERO,
+            n: 2,
+            due_min: Some(Instant::from_secs(1.4)),
+            insertion_budget: 3,
+        });
+        rec.record(&Event::CyclePlanned {
+            at: Instant::ZERO,
+            start: Instant::from_secs(1.0),
+            planned: Instant::ZERO,
+            n: 2,
+            due_min: None,
+            insertion_budget: usize::MAX,
+        });
+        let s = rec.snapshot();
+        assert_eq!(s.histogram(HIST_SERVICE_LATENCY).unwrap().count, 1);
+        // Only the cycle with a known deadline contributes slack.
+        assert_eq!(s.histogram(HIST_CYCLE_SLACK).unwrap().count, 1);
+        let slack = s.histogram(HIST_CYCLE_SLACK).unwrap();
+        assert!((slack.sum - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_json_lists_all_counters() {
+        let s = RecorderSink::new().snapshot();
+        let j = s.to_json();
+        for k in EventKind::ALL {
+            assert!(j.contains(&format!("\"{}\":0", k.label())), "{j}");
+        }
+        assert!(j.contains("\"events_recorded\":0"), "{j}");
+        assert!(j.contains("\"histograms\":{"), "{j}");
+    }
+}

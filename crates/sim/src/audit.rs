@@ -113,6 +113,31 @@ mod tests {
     }
 
     #[test]
+    fn arrival_exactly_at_allocation_instant_is_excluded() {
+        // The window is (at, at + window]: the arrival that *triggered*
+        // the allocation (t == at) must not count against its own
+        // estimate — only strictly-later arrivals do.
+        let arrivals = times(&[10.0]);
+        let out = evaluate_audits(&[rec(10.0, 5.0, 0)], &arrivals);
+        assert_eq!(out.mean_actual, 0.0);
+        assert_eq!(out.success_probability, 1.0);
+    }
+
+    #[test]
+    fn arrival_exactly_at_window_end_is_included() {
+        // The window end is inclusive: t == at + window still counts.
+        let arrivals = times(&[15.0]);
+        let out = evaluate_audits(&[rec(10.0, 5.0, 0)], &arrivals);
+        assert!((out.mean_actual - 1.0).abs() < 1e-12);
+        assert_eq!(out.success_probability, 0.0);
+        // Just past the end does not.
+        let late = times(&[15.000001]);
+        let out = evaluate_audits(&[rec(10.0, 5.0, 0)], &late);
+        assert_eq!(out.mean_actual, 0.0);
+        assert_eq!(out.success_probability, 1.0);
+    }
+
+    #[test]
     fn no_arrivals_means_every_estimate_succeeds() {
         let out = evaluate_audits(&[rec(0.0, 100.0, 0), rec(5.0, 100.0, 3)], &[]);
         assert_eq!(out.success_probability, 1.0);

@@ -13,7 +13,8 @@ use std::collections::BinaryHeap;
 
 use vod_core::scheme::Sizer;
 use vod_core::{memory, ArrivalLog, SchemeKind, SizeTable, SystemParams};
-use vod_types::{Bits, ConfigError, Instant, Seconds};
+use vod_obs::{Event, EventKind, Obs, RejectReason};
+use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds};
 use vod_workload::Workload;
 
 /// Configuration of one capacity run.
@@ -72,6 +73,7 @@ pub struct CapacitySim {
     cfg: CapacityConfig,
     sizer: Sizer,
     table: Option<SizeTable>,
+    obs: Obs,
 }
 
 impl CapacitySim {
@@ -81,6 +83,18 @@ impl CapacitySim {
     ///
     /// Returns [`ConfigError`] for infeasible parameters.
     pub fn new(cfg: CapacityConfig) -> Result<Self, ConfigError> {
+        Self::with_observer(cfg, Obs::null())
+    }
+
+    /// Like [`CapacitySim::new`], with an event sink attached. Admission
+    /// decisions and reservation high-water marks are reported; request
+    /// ids are synthesized from the arrival's index in the workload
+    /// (the capacity trace has no per-request identifiers of its own).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn with_observer(cfg: CapacityConfig, obs: Obs) -> Result<Self, ConfigError> {
         cfg.params.validate()?;
         if cfg.disks == 0 {
             return Err(ConfigError::new("disks", "must be at least 1"));
@@ -93,7 +107,12 @@ impl CapacitySim {
             SchemeKind::Dynamic => Some(SizeTable::build(&cfg.params)),
             _ => None,
         };
-        Ok(CapacitySim { cfg, sizer, table })
+        Ok(CapacitySim {
+            cfg,
+            sizer,
+            table,
+            obs,
+        })
     }
 
     /// Replays a workload (arrivals across all disks) and measures the
@@ -115,7 +134,9 @@ impl CapacitySim {
         let mut total_reserved = Bits::ZERO;
         let mut concurrent = 0usize;
 
-        for a in &workload.arrivals {
+        for (idx, a) in workload.arrivals.iter().enumerate() {
+            // Request ids for observability: the arrival's workload index.
+            let rid = RequestId::new(idx as u64);
             // Release departures up to this arrival.
             while let Some(dep) = departures.peek() {
                 if dep.at > a.at {
@@ -137,11 +158,23 @@ impl CapacitySim {
                 // be serviced; count it so admitted + rejected always
                 // equals the workload size.
                 result.rejected += 1;
+                self.obs
+                    .emit_with(EventKind::RequestRejected, || Event::RequestRejected {
+                        at: a.at,
+                        n: concurrent,
+                        reason: RejectReason::DiskFull,
+                    });
                 continue;
             }
             logs[disk].record(a.at);
             if n[disk] >= big_n {
                 result.rejected += 1;
+                self.obs
+                    .emit_with(EventKind::RequestRejected, || Event::RequestRejected {
+                        at: a.at,
+                        n: concurrent,
+                        reason: RejectReason::DiskFull,
+                    });
                 continue;
             }
             let k = self.estimate_k(&mut logs[disk], a.at, n[disk] + 1, k_last[disk]);
@@ -149,6 +182,12 @@ impl CapacitySim {
             let prospective = total_reserved - reserved[disk] + needed;
             if prospective > self.cfg.total_memory {
                 result.rejected += 1;
+                self.obs
+                    .emit_with(EventKind::RequestRejected, || Event::RequestRejected {
+                        at: a.at,
+                        n: concurrent,
+                        reason: RejectReason::MemoryFull,
+                    });
                 continue;
             }
             // Admit.
@@ -160,7 +199,23 @@ impl CapacitySim {
             result.admitted += 1;
             result.max_concurrent = result.max_concurrent.max(concurrent);
             result.per_disk_peak[disk] = result.per_disk_peak[disk].max(n[disk]);
-            result.peak_reserved = result.peak_reserved.max(total_reserved);
+            self.obs
+                .emit_with(EventKind::RequestAdmitted, || Event::RequestAdmitted {
+                    at: a.at,
+                    id: rid,
+                    n: concurrent,
+                    waited: Seconds::ZERO,
+                });
+            if total_reserved > result.peak_reserved {
+                result.peak_reserved = total_reserved;
+                self.obs
+                    .emit_with(EventKind::PoolOccupancy, || Event::PoolOccupancy {
+                        at: a.at,
+                        used: total_reserved,
+                        peak: result.peak_reserved,
+                        streams: concurrent,
+                    });
+            }
             departures.push(Departure {
                 at: a.at + a.viewing,
                 disk,
@@ -304,6 +359,28 @@ mod tests {
             .run(&w);
         assert!(r.peak_reserved <= Bits::from_gigabytes(budget));
         assert!(r.peak_reserved > Bits::ZERO);
+    }
+
+    #[test]
+    fn recorder_counters_match_capacity_result() {
+        use std::sync::Arc;
+        use vod_obs::RecorderSink;
+
+        let w = heavy_workload(0.5);
+        let plain = CapacitySim::new(cfg(SchemeKind::Dynamic, 2.0))
+            .expect("valid")
+            .run(&w);
+        let sink = Arc::new(RecorderSink::new());
+        let observed =
+            CapacitySim::with_observer(cfg(SchemeKind::Dynamic, 2.0), Obs::new(sink.clone()))
+                .expect("valid")
+                .run(&w);
+        // Attaching a sink must not perturb the simulation.
+        assert_eq!(plain, observed);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(EventKind::RequestAdmitted), observed.admitted);
+        assert_eq!(snap.counter(EventKind::RequestRejected), observed.rejected);
+        assert!(snap.counter(EventKind::PoolOccupancy) > 0);
     }
 
     #[test]

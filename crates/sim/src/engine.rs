@@ -5,11 +5,19 @@
 //! latencies (the paper's own modelling assumption), so two runs of the
 //! same trace are bit-identical.
 //!
-//! # Tracing
+//! # Observability
 //!
-//! Set `VOD_DEBUG_CYCLE=1`, `VOD_DEBUG_SVC=1`, or `VOD_DEBUG_UNDERFLOW=1`
-//! to stream cycle plans, individual services, or underflow events to
-//! stderr while debugging scheduling behaviour.
+//! The engine emits typed [`vod_obs::Event`]s — cycle plans, services,
+//! admissions/deferrals/rejections, buffer allocations, underflows, and
+//! occupancy high-water marks — into the [`Obs`] handle passed to
+//! [`DiskEngine::with_observer`]. Events carry only simulated time and
+//! values the engine already computed, so an attached sink never perturbs
+//! the run (asserted by `recorder_sink_does_not_perturb_the_run`).
+//!
+//! [`DiskEngine::new`] attaches a [`vod_obs::StderrSink`] when any of the
+//! historical `VOD_DEBUG_CYCLE`, `VOD_DEBUG_SVC`, or `VOD_DEBUG_UNDERFLOW`
+//! environment variables is set (each enables its event kind), otherwise
+//! instrumentation is detached and costs a single branch per site.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -19,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use vod_core::scheme::Sizer;
 use vod_core::{memory, AdmissionController, ArrivalLog, SchemeKind, SystemParams};
 use vod_disk::{Disk, LatencyModel};
+use vod_obs::{Event, EventKind, Obs, RejectReason};
 use vod_sched::{AdmissionTiming, SchedulingMethod};
 use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VideoId};
 use vod_workload::Arrival;
@@ -135,10 +144,15 @@ impl MemTracker {
         self.draining -= 1.0;
         self.time_sum -= at.as_secs_f64();
     }
-    fn observe(&mut self, t: Instant, cr: f64) {
+    /// Updates the high-water mark; returns the new peak when one was set
+    /// (so the caller can emit a [`Event::PoolOccupancy`] for it).
+    fn observe(&mut self, t: Instant, cr: f64) -> Option<f64> {
         let u = self.used_at(t, cr);
         if u > self.peak {
             self.peak = u;
+            Some(u)
+        } else {
+            None
         }
     }
 }
@@ -173,15 +187,30 @@ pub struct DiskEngine {
     /// Physical drive model; present only under sampled latency.
     sampled_disk: Option<Box<Disk>>,
     rng: SmallRng,
+    obs: Obs,
 }
 
 impl DiskEngine {
-    /// Builds an engine.
+    /// Builds an engine with the historical default observer: a stderr
+    /// sink when any `VOD_DEBUG_*` variable is set, detached otherwise
+    /// (see the module docs).
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] for infeasible parameters.
     pub fn new(cfg: EngineConfig) -> Result<Self, ConfigError> {
+        Self::with_observer(cfg, Obs::from_env())
+    }
+
+    /// Builds an engine emitting lifecycle events into `obs`. The handle
+    /// is shared with the scheme's [`AdmissionController`] (estimator
+    /// clamps). Any sink is observation-only: the run is bit-identical to
+    /// one with [`Obs::null`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn with_observer(cfg: EngineConfig, obs: Obs) -> Result<Self, ConfigError> {
         cfg.params.validate()?;
         if !cfg.video_length.is_valid_duration() || cfg.video_length <= Seconds::ZERO {
             return Err(ConfigError::new("video_length", "must be positive"));
@@ -195,10 +224,11 @@ impl DiskEngine {
         let scheme = match cfg.scheme {
             SchemeKind::Static | SchemeKind::StaticMaxUse => SchemeState::Static,
             SchemeKind::NaiveDynamic => SchemeState::Naive(ArrivalLog::new(cfg.t_log)),
-            SchemeKind::Dynamic => SchemeState::Dynamic(Box::new(AdmissionController::new(
-                cfg.params.clone(),
-                cfg.t_log,
-            )?)),
+            SchemeKind::Dynamic => {
+                let mut ctl = AdmissionController::new(cfg.params.clone(), cfg.t_log)?;
+                ctl.set_observer(obs.clone());
+                SchemeState::Dynamic(Box::new(ctl))
+            }
         };
         Ok(DiskEngine {
             cfg,
@@ -222,6 +252,7 @@ impl DiskEngine {
             last_k: 0,
             sampled_disk,
             rng,
+            obs,
         })
     }
 
@@ -298,6 +329,14 @@ impl DiskEngine {
                             // memory-rejected — drop them.
                             while self.pending.pop_front().is_some() {
                                 self.stats.rejected += 1;
+                                let n = self.streams.len() + self.pending.len();
+                                self.obs.emit_with(EventKind::RequestRejected, || {
+                                    Event::RequestRejected {
+                                        at: self.t,
+                                        n,
+                                        reason: RejectReason::QueueDropped,
+                                    }
+                                });
                             }
                         }
                     }
@@ -364,31 +403,31 @@ impl DiskEngine {
                         continue;
                     }
                 }
-                if std::env::var("VOD_DEBUG_CYCLE").is_ok() {
-                    let cr = self.cfg.params.cr();
-                    eprintln!(
-                        "CYCLE t={} start={} planned={} n={} due_min={:?} order={:?}",
-                        self.t,
+                self.obs
+                    .emit_with(EventKind::CyclePlanned, || Event::CyclePlanned {
+                        at: self.t,
                         start,
-                        plan.start,
-                        self.streams.len(),
-                        self.earliest_due(),
-                        self.order
-                            .iter()
-                            .map(|id| {
-                                let st = &self.streams[id];
-                                (id.raw(), st.due_at(cr).map(|d| d.as_secs_f64()))
-                            })
-                            .collect::<Vec<_>>()
-                    );
-                }
+                        planned: plan.start,
+                        n: self.streams.len(),
+                        due_min: self.earliest_due(),
+                        insertion_budget: plan.insertion_budget,
+                    });
                 self.t = start;
                 self.cycle_start = start;
                 self.cursor = 0;
                 self.cycle_active = true;
                 self.cycle_services = 0;
                 self.cycle_insertions_left = plan.insertion_budget;
-                self.mem.observe(self.t, self.cfg.params.cr().as_f64());
+                if let Some(peak) = self.mem.observe(self.t, self.cfg.params.cr().as_f64()) {
+                    let streams = self.streams.len();
+                    self.obs
+                        .emit_with(EventKind::PoolOccupancy, || Event::PoolOccupancy {
+                            at: self.t,
+                            used: Bits::new(peak),
+                            peak: Bits::new(peak),
+                            streams,
+                        });
+                }
                 continue;
             }
 
@@ -431,10 +470,18 @@ impl DiskEngine {
     /// Records a consumption deficit as an underflow, ignoring float dust
     /// (fills are capped to land *exactly* at zero level at departure, so
     /// sub-byte negatives are rounding, not starvation).
-    fn note_deficit(&mut self, deficit: Bits) {
+    fn note_deficit(&mut self, id: RequestId, at: Instant, deficit: Bits) {
         if deficit.as_f64() > 64.0 {
             self.stats.underflows += 1;
             self.stats.underflow_deficit += deficit;
+            let n = self.streams.len();
+            self.obs
+                .emit_with(EventKind::Underflow, || Event::Underflow {
+                    at,
+                    id,
+                    n,
+                    deficit,
+                });
         }
     }
 
@@ -456,10 +503,22 @@ impl DiskEngine {
         // now, not parked for an hour.
         if n >= self.cfg.params.max_requests() {
             self.stats.rejected += 1;
+            self.obs
+                .emit_with(EventKind::RequestRejected, || Event::RequestRejected {
+                    at: a.at,
+                    n,
+                    reason: RejectReason::DiskFull,
+                });
             return;
         }
         if !self.memory_admits(n + 1, a.at) {
             self.stats.rejected += 1;
+            self.obs
+                .emit_with(EventKind::RequestRejected, || Event::RequestRejected {
+                    at: a.at,
+                    n,
+                    reason: RejectReason::MemoryFull,
+                });
             return;
         }
         let grid = self.admission_grid().as_secs_f64().max(1e-9);
@@ -527,11 +586,21 @@ impl DiskEngine {
             if !admitted {
                 // Deferred by Assumption 1: count once per request, keep
                 // FIFO order.
+                let mut newly_deferred = false;
                 if let Some(front) = self.pending.front_mut() {
                     if !front.deferred_counted {
                         front.deferred_counted = true;
                         self.stats.deferrals += 1;
+                        newly_deferred = true;
                     }
+                }
+                if newly_deferred {
+                    self.obs
+                        .emit_with(EventKind::RequestDeferred, || Event::RequestDeferred {
+                            at: self.t,
+                            id: head.id,
+                            n,
+                        });
                 }
                 return;
             }
@@ -577,6 +646,14 @@ impl DiskEngine {
         self.streams.insert(p.id, stream);
         self.stats.admitted += 1;
         self.conc_events.push((self.t, 1));
+        let n_now = self.streams.len();
+        self.obs
+            .emit_with(EventKind::RequestAdmitted, || Event::RequestAdmitted {
+                at: self.t,
+                id: p.id,
+                n: n_now,
+                waited: self.t - p.arrived,
+            });
         // BubbleUp: service the newcomer right after the current service
         // AND keep it at that ring position (base_order is the ring).
         // GSS*: join at the next group boundary, persistently.
@@ -707,12 +784,13 @@ impl DiskEngine {
             self.mem.on_materialize(old_time, t_data, upd.consumed);
         }
         if upd.deficit.as_f64() > 64.0 {
-            if std::env::var("VOD_DEBUG_UNDERFLOW").is_ok() {
-                eprintln!(
-                    "UF t={} id={} n={} deficit={} old_time={}",
-                    t_data, id, n_active, upd.deficit, old_time
-                );
-            }
+            self.obs
+                .emit_with(EventKind::Underflow, || Event::Underflow {
+                    at: t_data,
+                    id,
+                    n: n_active,
+                    deficit: upd.deficit,
+                });
             self.stats.underflows += 1;
             self.stats.underflow_deficit += upd.deficit;
         }
@@ -741,8 +819,19 @@ impl DiskEngine {
 
         let t_done = t_data + read / self.cfg.params.tr();
 
+        // Track the allocation size for buffer-lifecycle events. The
+        // update is unconditional (sink or no sink) so instrumented runs
+        // stay bit-identical.
+        let prev_alloc = stream.last_alloc;
+        stream.last_alloc = size;
         stream.fill(t_data, read);
         if !started {
+            self.obs
+                .emit_with(EventKind::BufferAllocated, || Event::BufferAllocated {
+                    at: t_data,
+                    id,
+                    size,
+                });
             self.departures
                 .push(Reverse((t_data + stream.viewing, id.raw())));
             self.mem.on_first_fill(t_data);
@@ -754,13 +843,29 @@ impl DiskEngine {
                 n_at_arrival: stream.n_at_arrival,
                 latency,
             });
+        } else if prev_alloc != size {
+            self.obs
+                .emit_with(EventKind::BufferResized, || Event::BufferResized {
+                    at: t_data,
+                    id,
+                    old_size: prev_alloc,
+                    new_size: size,
+                });
         }
         self.mem.on_fill(read);
         // Consumption during the transfer cannot underflow (TR > CR and
         // the data is already booked); just materialize it.
         let upd = stream.advance_to(t_done, cr);
         self.mem.on_materialize(t_data, t_done, upd.consumed);
-        self.mem.observe(t_done, crf);
+        if let Some(peak) = self.mem.observe(t_done, crf) {
+            self.obs
+                .emit_with(EventKind::PoolOccupancy, || Event::PoolOccupancy {
+                    at: t_done,
+                    used: Bits::new(peak),
+                    peak: Bits::new(peak),
+                    streams: n_active,
+                });
+        }
 
         if audit {
             let slot = dl + size / self.cfg.params.tr();
@@ -771,12 +876,17 @@ impl DiskEngine {
             });
         }
 
-        if std::env::var("VOD_DEBUG_SVC").is_ok() {
-            eprintln!(
-                "SVC t={} id={} n={} k={} read={} size={}",
-                t_done, id, n_c, k_c, read, size
-            );
-        }
+        self.obs
+            .emit_with(EventKind::StreamServiced, || Event::StreamServiced {
+                at: t_done,
+                id,
+                n: n_c,
+                k: k_c,
+                read,
+                size,
+                duration: t_done - now,
+                first_fill: !started,
+            });
         self.stats.services += 1;
         self.cycle_services += 1;
         self.t = t_done;
@@ -1069,10 +1179,16 @@ impl DiskEngine {
             self.mem
                 .on_materialize(old_time, s.level_at_time(), upd.consumed);
         }
-        self.note_deficit(upd.deficit);
+        self.note_deficit(id, at, upd.deficit);
         if started {
             self.mem.on_depart(s.level(), s.level_at_time());
         }
+        self.obs
+            .emit_with(EventKind::BufferFreed, || Event::BufferFreed {
+                at,
+                id,
+                released: s.level(),
+            });
         self.conc_events.push((at, -1));
         if let SchemeState::Dynamic(ctl) = &mut self.scheme {
             let _ = ctl.depart(id);
@@ -1330,6 +1446,50 @@ mod tests {
             a.il_samples, c.il_samples,
             "different seeds should differ (rotation draws)"
         );
+    }
+
+    #[test]
+    fn recorder_sink_does_not_perturb_the_run() {
+        use vod_obs::{EventKind as K, Obs, RecorderSink};
+        let trace: Vec<Arrival> = (0..25)
+            .map(|i| arrival(1.0 + f64::from(i) * 0.8, 200.0))
+            .collect();
+        let cfg = EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Dynamic);
+        let plain = DiskEngine::with_observer(cfg.clone(), Obs::null())
+            .expect("valid")
+            .run(&trace);
+        let rec = std::sync::Arc::new(RecorderSink::new());
+        let observed = DiskEngine::with_observer(cfg, Obs::new(rec.clone()))
+            .expect("valid")
+            .run(&trace);
+        // Bit-identical measurements, field by field.
+        assert_eq!(plain.il_samples, observed.il_samples);
+        assert_eq!(plain.audits, observed.audits);
+        assert_eq!(plain.concurrency, observed.concurrency);
+        assert_eq!(plain.admitted, observed.admitted);
+        assert_eq!(plain.rejected, observed.rejected);
+        assert_eq!(plain.deferrals, observed.deferrals);
+        assert_eq!(plain.services, observed.services);
+        assert_eq!(plain.cycles, observed.cycles);
+        assert_eq!(plain.underflows, observed.underflows);
+        assert_eq!(plain.underflow_deficit, observed.underflow_deficit);
+        assert_eq!(plain.peak_memory, observed.peak_memory);
+        assert_eq!(plain.finished_at, observed.finished_at);
+        // The recorder saw the whole lifecycle, consistently with the
+        // aggregate counters.
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(K::RequestAdmitted), observed.admitted);
+        assert_eq!(snap.counter(K::StreamServiced), observed.services);
+        assert_eq!(snap.counter(K::BufferAllocated), observed.admitted);
+        assert_eq!(snap.counter(K::BufferFreed), observed.admitted);
+        assert_eq!(snap.counter(K::Underflow), observed.underflows);
+        assert_eq!(snap.counter(K::RequestDeferred), observed.deferrals);
+        assert!(snap.counter(K::CyclePlanned) >= observed.cycles);
+        assert!(snap.counter(K::PoolOccupancy) > 0);
+        // Every retained event renders as a JSON object line.
+        for line in snap.export_jsonl().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 
     #[test]

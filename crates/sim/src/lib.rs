@@ -19,7 +19,10 @@
 //!   buffer-level engine is not needed here; see DESIGN.md.)
 //!
 //! Both are deterministic given a [`vod_workload::Workload`] trace, so
-//! every scheme/method combination replays identical arrivals.
+//! every scheme/method combination replays identical arrivals. Attaching
+//! a [`vod_obs`] sink (see [`engine::DiskEngine::with_observer`] and
+//! [`capacity::CapacitySim::with_observer`]) never changes a result:
+//! events carry already-computed values stamped with simulated time.
 //!
 //! # The service model
 //!
@@ -46,4 +49,7 @@ pub use audit::{evaluate_audits, AuditOutcome};
 pub use capacity::{CapacityConfig, CapacityResult, CapacitySim};
 pub use engine::{DiskEngine, EngineConfig};
 pub use metrics::{DiskRunStats, IlSample};
-pub use runner::{run_latency_experiment, run_multi_disk, LatencyExperiment, LatencyResult};
+pub use runner::{
+    run_latency_experiment, run_latency_experiment_observed, run_multi_disk, LatencyExperiment,
+    LatencyResult, ObservedLatencyResult, RunReport,
+};

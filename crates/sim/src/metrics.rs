@@ -112,6 +112,9 @@ impl DiskRunStats {
     }
 
     /// The `p`-th latency percentile (`0.0 ..= 1.0`), nearest-rank.
+    ///
+    /// Nearest-rank uses `⌈p·len⌉` clamped to `[1, len]`; the lower clamp
+    /// means `p = 0.0` returns the *minimum* sample (rank 1), not nothing.
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> Option<Seconds> {
         if self.il_samples.is_empty() || !(0.0..=1.0).contains(&p) {
@@ -122,7 +125,10 @@ impl DiskRunStats {
             .iter()
             .map(|s| s.latency.as_secs_f64())
             .collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // `total_cmp` gives a total order (NaN sorts high) — a comparator
+        // falling back to `Ordering::Equal` is not transitive and can
+        // leave the vector unsorted.
+        latencies.sort_by(|a, b| a.total_cmp(b));
         let rank = ((p * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
         Some(Seconds::from_secs(latencies[rank - 1]))
     }

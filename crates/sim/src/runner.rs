@@ -6,8 +6,9 @@
 //! its own thread, and merges the measurements.
 
 use vod_core::SchemeKind;
+use vod_obs::Obs;
 use vod_sched::SchedulingMethod;
-use vod_types::{ConfigError, Instant};
+use vod_types::{Bits, ConfigError, Instant};
 use vod_workload::{generate, WorkloadConfig};
 
 use crate::audit::{evaluate_audits, AuditOutcome};
@@ -55,6 +56,58 @@ pub struct LatencyResult {
     pub seeds: usize,
 }
 
+/// Per-seed summary captured *before* the multi-seed merge.
+///
+/// Wall-clock time here is the **host** clock (how long the simulation
+/// took to execute) — the only place the observability layer touches wall
+/// time; every event timestamp is simulated time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunReport {
+    /// The workload seed this report describes.
+    pub seed: u64,
+    /// Host wall-clock seconds spent generating and replaying the seed.
+    pub wall_clock_secs: f64,
+    /// Requests admitted into service.
+    pub admitted: u64,
+    /// Admission attempts deferred by the inertia assumptions.
+    pub deferred: u64,
+    /// Requests rejected outright.
+    pub rejected: u64,
+    /// Underflow events.
+    pub underflows: u64,
+    /// Buffer services performed.
+    pub services: u64,
+    /// Service cycles completed.
+    pub cycles: u64,
+    /// Peak pool occupancy.
+    pub peak_memory: Bits,
+}
+
+impl RunReport {
+    fn from_stats(seed: u64, wall_clock_secs: f64, stats: &DiskRunStats) -> Self {
+        RunReport {
+            seed,
+            wall_clock_secs,
+            admitted: stats.admitted,
+            deferred: stats.deferrals,
+            rejected: stats.rejected,
+            underflows: stats.underflows,
+            services: stats.services,
+            cycles: stats.cycles,
+            peak_memory: stats.peak_memory,
+        }
+    }
+}
+
+/// A [`LatencyResult`] plus the per-seed reports the merge would erase.
+#[derive(Clone, Debug)]
+pub struct ObservedLatencyResult {
+    /// The merged measurements (what [`run_latency_experiment`] returns).
+    pub result: LatencyResult,
+    /// One report per seed, in the experiment's seed order.
+    pub reports: Vec<RunReport>,
+}
+
 /// Runs the experiment, one thread per seed.
 ///
 /// # Errors
@@ -62,26 +115,49 @@ pub struct LatencyResult {
 /// Returns [`ConfigError`] when the engine or workload configuration is
 /// invalid (checked before any thread spawns).
 pub fn run_latency_experiment(exp: &LatencyExperiment) -> Result<LatencyResult, ConfigError> {
-    exp.workload.validate()?;
-    // Engine::new validates; build one up-front to fail fast.
-    drop(DiskEngine::new(exp.engine.clone())?);
+    // `Obs::from_env` preserves the engine's historical default: stderr
+    // tracing when a `VOD_DEBUG_*` variable is set, detached otherwise.
+    run_latency_experiment_observed(exp, &|_| Obs::from_env()).map(|o| o.result)
+}
 
-    let results: Vec<(DiskRunStats, AuditOutcome)> = std::thread::scope(|scope| {
+/// Runs the experiment with an observer per seed: `observer(seed)` is
+/// called once per seed (on the caller's thread) and the returned handle
+/// receives that seed's engine events. Pass a shared
+/// [`vod_obs::RecorderSink`] behind each handle to aggregate across
+/// seeds — its sink is thread-safe.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the engine or workload configuration is
+/// invalid (checked before any thread spawns).
+pub fn run_latency_experiment_observed(
+    exp: &LatencyExperiment,
+    observer: &(dyn Fn(u64) -> Obs + Sync),
+) -> Result<ObservedLatencyResult, ConfigError> {
+    exp.workload.validate()?;
+    // Engine::with_observer validates; build one up-front to fail fast.
+    drop(DiskEngine::with_observer(exp.engine.clone(), Obs::null())?);
+
+    let results: Vec<(DiskRunStats, AuditOutcome, RunReport)> = std::thread::scope(|scope| {
         let handles: Vec<_> = exp
             .seeds
             .iter()
             .map(|&seed| {
                 let engine_cfg = exp.engine.clone();
                 let wl_cfg = exp.workload.clone();
+                let obs = observer(seed);
                 scope.spawn(move || {
+                    let started = std::time::Instant::now();
                     let workload =
                         generate(&wl_cfg, seed).expect("workload config validated above");
-                    let engine =
-                        DiskEngine::new(engine_cfg).expect("engine config validated above");
+                    let engine = DiskEngine::with_observer(engine_cfg, obs)
+                        .expect("engine config validated above");
                     let stats = engine.run(&workload.arrivals);
                     let times: Vec<Instant> = workload.arrivals.iter().map(|a| a.at).collect();
                     let audit = evaluate_audits(&stats.audits, &times);
-                    (stats, audit)
+                    let report =
+                        RunReport::from_stats(seed, started.elapsed().as_secs_f64(), &stats);
+                    (stats, audit, report)
                 })
             })
             .collect();
@@ -93,16 +169,18 @@ pub fn run_latency_experiment(exp: &LatencyExperiment) -> Result<LatencyResult, 
 
     let seeds = results.len();
     let mut merged = DiskRunStats::default();
+    let mut reports = Vec::with_capacity(seeds);
     let mut est = 0.0;
     let mut act = 0.0;
     let mut succ = 0.0;
     let mut samples = 0usize;
-    for (stats, audit) in results {
+    for (stats, audit, report) in results {
         // Weight per-seed audit means by their sample counts.
         est += audit.mean_estimated * audit.samples as f64;
         act += audit.mean_actual * audit.samples as f64;
         succ += audit.success_probability * audit.samples as f64;
         samples += audit.samples;
+        reports.push(report);
         merged.absorb(stats);
     }
     let audit = if samples == 0 {
@@ -115,10 +193,13 @@ pub fn run_latency_experiment(exp: &LatencyExperiment) -> Result<LatencyResult, 
             success_probability: succ / samples as f64,
         }
     };
-    Ok(LatencyResult {
-        stats: merged,
-        audit,
-        seeds,
+    Ok(ObservedLatencyResult {
+        result: LatencyResult {
+            stats: merged,
+            audit,
+            seeds,
+        },
+        reports,
     })
 }
 

@@ -32,6 +32,9 @@ pub struct Stream {
     /// stream (the BubbleUp slot / Sweep\* period / GSS\* group boundary
     /// following admission).
     pub eligible_at: Instant,
+    /// Allocation size used at the last service — observability only
+    /// (drives buffer-resize events); never feeds back into scheduling.
+    pub last_alloc: Bits,
 }
 
 /// What a lazy level update observed.
@@ -58,6 +61,7 @@ impl Stream {
             consumed: Bits::ZERO,
             n_at_arrival: 0,
             eligible_at: arrived,
+            last_alloc: Bits::ZERO,
         }
     }
 

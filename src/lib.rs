@@ -34,6 +34,7 @@ pub use vod_analysis as analysis;
 pub use vod_buffer as buffer;
 pub use vod_core as core;
 pub use vod_disk as disk;
+pub use vod_obs as obs;
 pub use vod_sched as sched;
 pub use vod_sim as sim;
 pub use vod_types as types;
@@ -47,6 +48,7 @@ pub mod prelude {
         SystemParams,
     };
     pub use vod_disk::{Disk, DiskArray, DiskProfile, LatencyModel, ZonedProfile};
+    pub use vod_obs::{Obs, RecorderSink, Sink, StderrSink};
     pub use vod_sched::SchedulingMethod;
     pub use vod_sim::{run_multi_disk, CapacityConfig, CapacitySim, DiskEngine, EngineConfig};
     pub use vod_types::{BitRate, Bits, Instant, RequestId, Seconds, VideoId};
