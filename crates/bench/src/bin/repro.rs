@@ -1,8 +1,10 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--trace <file.jsonl>] [--summary-json <file>] <experiment>...
+//! repro [--quick] [--trace <file.jsonl>] [--summary-json <file>]
+//!       [--metrics <file.prom>] [--metrics-addr <host:port>] <experiment>...
 //! repro [--quick] all
+//! repro bench [--smoke] [--out <file>]
 //! repro --list
 //! ```
 //!
@@ -16,9 +18,20 @@
 //!   as JSON Lines. Each experiment contributes a marker line
 //!   `{"kind":"experiment","name":...}` followed by its events.
 //! * `--summary-json <file>` — writes one JSON document with, per
-//!   experiment, the host wall-clock time, per-kind event counters
-//!   (admitted / deferred / rejected / underflow, …), and the recorder's
-//!   histograms.
+//!   experiment, the host wall-clock time, the number of events the
+//!   recorder dropped, per-kind event counters (admitted / deferred /
+//!   rejected / underflow, …), and the recorder's histograms.
+//! * `--metrics <file.prom>` — attaches one shared metrics registry to
+//!   every simulated experiment and writes its final state in Prometheus
+//!   text exposition format.
+//! * `--metrics-addr <host:port>` — additionally serves the live registry
+//!   over HTTP (GET, Prometheus text) for the duration of the run; pass
+//!   `127.0.0.1:0` to pick a free port (printed to stderr).
+//!
+//! `repro bench` skips the tables entirely and runs the pinned
+//! performance matrix instead, writing `BENCH_perf.json` (see
+//! `EXPERIMENTS.md`, “Benchmark methodology”). `--smoke` is the CI-sized
+//! subset; `--out` overrides the output path.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -27,9 +40,10 @@ use std::time::Instant;
 
 use vod_analysis::{write_csv, Table};
 use vod_bench::{
-    fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr, Scale,
+    fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, run_bench, tab3, tab4, tab5,
+    vcr, BenchMode, Scale,
 };
-use vod_obs::{json, Obs, RecorderSink};
+use vod_obs::{json, prom, Metrics, MetricsRegistry, MetricsServer, Obs, RecorderSink};
 
 const EXPERIMENTS: [(&str, &str); 14] = [
     ("tab3", "disk profile constants and derived N (analysis)"),
@@ -81,12 +95,65 @@ fn run_experiment(name: &str, scale: Scale, obs: &Obs) -> Option<Vec<Table>> {
 fn print_usage() {
     eprintln!(
         "usage: repro [--quick] [--trace <file.jsonl>] [--summary-json <file>] \
+         [--metrics <file.prom>] [--metrics-addr <host:port>] \
          <experiment>... | all | --list"
     );
+    eprintln!("       repro bench [--smoke] [--out <file>]");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<6} {desc}");
     }
+    eprintln!("  bench  pinned performance matrix -> BENCH_perf.json");
+}
+
+/// `repro bench [--smoke] [--out <file>]`: the perf-regression harness.
+fn bench_main(args: &[String]) -> ExitCode {
+    let mut mode = BenchMode::Full;
+    let mut out = PathBuf::from("BENCH_perf.json");
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--smoke" => mode = BenchMode::Smoke,
+            "--out" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--out requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                out = PathBuf::from(p);
+            }
+            other => {
+                eprintln!("unknown bench option `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = run_bench(mode, &|line| eprintln!("{line}"));
+    for c in &report.cells {
+        println!(
+            "{:<14} {:<12} θ={:<4} {:>9} cycles  {:>10.0} cycles/s  {:>8.2} MiB peak  {:.2}s",
+            format!("{:?}", c.scheme),
+            c.method.label(),
+            c.theta,
+            c.cycles,
+            c.cycles_per_sec(),
+            c.peak_memory_mib,
+            c.wall_clock_s,
+        );
+    }
+    let mut body = report.to_json();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[bench {} done in {:.1}s -> {}]",
+        report.mode.label(),
+        report.total_wall_clock_s,
+        out.display()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -95,10 +162,15 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     }
+    if args[0] == "bench" {
+        return bench_main(&args[1..]);
+    }
     let mut scale = Scale::Full;
     let mut names: Vec<String> = Vec::new();
     let mut trace_path: Option<PathBuf> = None;
     let mut summary_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -121,6 +193,20 @@ fn main() -> ExitCode {
                 };
                 summary_path = Some(PathBuf::from(p));
             }
+            "--metrics" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--metrics requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                metrics_path = Some(PathBuf::from(p));
+            }
+            "--metrics-addr" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--metrics-addr requires a host:port argument");
+                    return ExitCode::FAILURE;
+                };
+                metrics_addr = Some(p.clone());
+            }
             "all" => names.extend(EXPERIMENTS.iter().map(|(n, _)| (*n).to_owned())),
             other => names.push(other.to_owned()),
         }
@@ -129,6 +215,31 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     }
+
+    // One registry shared by every simulated experiment of the run: the
+    // .prom file and the scrape endpoint describe the whole invocation.
+    let registry = (metrics_path.is_some() || metrics_addr.is_some())
+        .then(|| Arc::new(MetricsRegistry::new()));
+    let metrics = registry
+        .as_ref()
+        .map(|r| Metrics::new(Arc::clone(r)))
+        .unwrap_or_default();
+    let _server = match (&metrics_addr, &registry) {
+        (Some(addr), Some(reg)) => match MetricsServer::bind(addr, Arc::clone(reg)) {
+            Ok(server) => {
+                eprintln!(
+                    "metrics: serving Prometheus text on http://{}/metrics",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: could not bind metrics server on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => None,
+    };
 
     let observing = trace_path.is_some() || summary_path.is_some();
     let mut trace_out = String::new();
@@ -153,6 +264,11 @@ fn main() -> ExitCode {
             Some(s) => Obs::new(Arc::clone(s) as Arc<dyn vod_obs::Sink>),
             None => Obs::from_env(),
         };
+        let obs = if is_simulated(&name) {
+            obs.with_metrics(metrics.clone())
+        } else {
+            obs
+        };
         let Some(tables) = run_experiment(&name, scale, &obs) else {
             eprintln!("unknown experiment `{name}`");
             print_usage();
@@ -173,6 +289,16 @@ fn main() -> ExitCode {
         if let Some(sink) = sink {
             let snap = sink.snapshot();
             if trace_path.is_some() {
+                // Only a bounded-capacity recorder that was asked for raw
+                // events can lose trace lines; with --summary-json alone
+                // the capacity-0 recorder "drops" everything by design
+                // while its counters stay complete.
+                if snap.dropped() > 0 {
+                    eprintln!(
+                        "warning: {name}: recorder dropped {} events; trace is incomplete",
+                        snap.dropped()
+                    );
+                }
                 let mut marker = json::Object::new();
                 marker.str("kind", "experiment");
                 marker.str("name", &name);
@@ -185,18 +311,26 @@ fn main() -> ExitCode {
             let mut entry = json::Object::new();
             entry.str("name", &name);
             entry.num("wall_clock_s", elapsed.as_secs_f64());
+            entry.uint("events_dropped", snap.dropped());
             entry.raw("observed", &snap.to_json());
             summary_entries.raw(&entry.finish());
         } else if summary_path.is_some() {
             let mut entry = json::Object::new();
             entry.str("name", &name);
             entry.num("wall_clock_s", elapsed.as_secs_f64());
+            entry.uint("events_dropped", 0);
             entry.null("observed"); // analytic: no engine runs, no events
             summary_entries.raw(&entry.finish());
         }
         eprintln!("[{name} done in {elapsed:.1?}]");
     }
 
+    if let (Some(path), Some(reg)) = (&metrics_path, &registry) {
+        if let Err(e) = std::fs::write(path, prom::render(&reg.snapshot())) {
+            eprintln!("error: could not write metrics {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &trace_path {
         if let Err(e) = std::fs::write(path, trace_out) {
             eprintln!("error: could not write trace {}: {e}", path.display());

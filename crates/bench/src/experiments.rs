@@ -176,7 +176,7 @@ fn workload_cfg(scale: Scale, theta: f64) -> WorkloadConfig {
     cfg
 }
 
-fn experiment(
+pub(crate) fn experiment(
     scale: Scale,
     method: SchedulingMethod,
     scheme: SchemeKind,

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod scale;
 
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr,
 };
+pub use perf::{run_bench, BenchMode, BenchReport, CellResult};
 pub use scale::Scale;

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use vod_obs::{Event, EventKind, Obs};
+use vod_obs::metrics::{CTR_POOL_FILLS, GAUGE_POOL_PEAK, GAUGE_POOL_USED};
+use vod_obs::{Counter, Event, EventKind, Gauge, Obs};
 use vod_types::{Bits, ConfigError, Instant, RequestId, VodError};
 
 /// Allocation granularity of the pool.
@@ -115,6 +116,12 @@ pub struct BufferPool {
     config: PoolConfig,
     inner: Mutex<Inner>,
     obs: Obs,
+    /// Metric handles resolved once at construction (no-ops when the
+    /// observer carries no registry); updated under the same lock
+    /// that guards the accounting they mirror.
+    m_used: Gauge,
+    m_peak: Gauge,
+    m_fills: Counter,
 }
 
 impl BufferPool {
@@ -137,10 +144,17 @@ impl BufferPool {
     /// Returns [`ConfigError`] for an invalid configuration.
     pub fn with_observer(config: PoolConfig, obs: Obs) -> Result<Self, ConfigError> {
         config.validate()?;
+        let metrics = obs.metrics();
+        let m_used = metrics.gauge(GAUGE_POOL_USED);
+        let m_peak = metrics.gauge(GAUGE_POOL_PEAK);
+        let m_fills = metrics.counter(CTR_POOL_FILLS);
         Ok(BufferPool {
             config,
             inner: Mutex::new(Inner::default()),
             obs,
+            m_used,
+            m_peak,
+            m_fills,
         })
     }
 
@@ -189,6 +203,7 @@ impl BufferPool {
             .ok_or(VodError::UnknownRequest(request))?;
         inner.used -= account.held;
         inner.used = inner.used.clamp_non_negative();
+        self.m_used.set(inner.used.as_f64());
         Ok(())
     }
 
@@ -228,6 +243,9 @@ impl BufferPool {
         entry.held = new_held;
         inner.used += delta;
         inner.fills += 1;
+        self.m_used.set(inner.used.as_f64());
+        self.m_peak.set_max(inner.used.as_f64());
+        self.m_fills.inc();
         if inner.used > inner.peak {
             inner.peak = inner.used;
             self.obs
@@ -275,6 +293,7 @@ impl BufferPool {
         }
         inner.used -= delta;
         inner.used = inner.used.clamp_non_negative();
+        self.m_used.set(inner.used.as_f64());
         if !deficit.is_zero() {
             inner.underflows += 1;
             return Err(VodError::BufferUnderflow { request, deficit });
@@ -505,6 +524,27 @@ mod tests {
             snap.events()[0],
             Event::PoolOccupancy { at, streams: 1, .. } if at == Instant::from_secs(5.0)
         ));
+    }
+
+    #[test]
+    fn pool_publishes_gauges_and_fill_counter() {
+        use vod_obs::metrics::{Metrics, MetricsRegistry};
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let obs = Obs::null().with_metrics(Metrics::new(std::sync::Arc::clone(&reg)));
+        let pool = BufferPool::with_observer(PoolConfig::unbounded(), obs).expect("valid config");
+        pool.register(R0).expect("fresh");
+        pool.fill(R0, Bits::new(100.0)).expect("fill");
+        pool.fill(R0, Bits::new(50.0)).expect("fill");
+        pool.consume(R0, Bits::new(120.0)).expect("enough");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(CTR_POOL_FILLS), Some(2));
+        assert_eq!(snap.gauge(GAUGE_POOL_USED), Some(30.0));
+        assert_eq!(snap.gauge(GAUGE_POOL_PEAK), Some(150.0));
+        // Unregister releases everything; the gauge follows.
+        pool.unregister(R0).expect("registered");
+        assert_eq!(reg.snapshot().gauge(GAUGE_POOL_USED), Some(0.0));
+        // The peak gauge is a high-water mark and stays put.
+        assert_eq!(reg.snapshot().gauge(GAUGE_POOL_PEAK), Some(150.0));
     }
 
     #[test]

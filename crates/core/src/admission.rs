@@ -64,11 +64,27 @@ impl AdmissionController {
     /// Returns [`ConfigError`] for infeasible parameters or a
     /// non-positive `t_log`.
     pub fn new(params: SystemParams, t_log: Seconds) -> Result<Self, ConfigError> {
+        Self::new_instrumented(params, t_log, &vod_obs::Metrics::null())
+    }
+
+    /// Like [`AdmissionController::new`], but the size-table
+    /// precompute is timed into the metrics phase histogram
+    /// ([`vod_obs::metrics::PHASE_TABLE_BUILD`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters or a
+    /// non-positive `t_log`.
+    pub fn new_instrumented(
+        params: SystemParams,
+        t_log: Seconds,
+        metrics: &vod_obs::Metrics,
+    ) -> Result<Self, ConfigError> {
         params.validate()?;
         if !t_log.is_valid_duration() || t_log <= Seconds::ZERO {
             return Err(ConfigError::new("t_log", "must be positive"));
         }
-        let table = SizeTable::build(&params);
+        let table = SizeTable::build_instrumented(&params, metrics);
         Ok(AdmissionController {
             params,
             table,

@@ -84,10 +84,25 @@ impl Sizer {
     ///
     /// Returns [`ConfigError`] for infeasible parameters.
     pub fn new(kind: SchemeKind, params: &SystemParams) -> Result<Self, ConfigError> {
+        Self::new_instrumented(kind, params, &vod_obs::Metrics::null())
+    }
+
+    /// Like [`Sizer::new`], but any `BS_k(n)` table precompute is
+    /// timed into the metrics phase histogram
+    /// ([`vod_obs::metrics::PHASE_TABLE_BUILD`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn new_instrumented(
+        kind: SchemeKind,
+        params: &SystemParams,
+        metrics: &vod_obs::Metrics,
+    ) -> Result<Self, ConfigError> {
         params.validate()?;
         let big_n = params.max_requests();
         let table = match kind {
-            SchemeKind::Dynamic => Some(SizeTable::build(params)),
+            SchemeKind::Dynamic => Some(SizeTable::build_instrumented(params, metrics)),
             _ => None,
         };
         let naive_sizes = match kind {

@@ -7,6 +7,7 @@
 //! could be admitted), so the table is `(N+1) × (N+1)` — 6 400 entries for
 //! the Barracuda 9LP, negligible memory.
 
+use vod_obs::metrics::{Metrics, GAUGE_TABLE_ENTRIES, PHASE_TABLE_BUILD};
 use vod_types::{Bits, ConfigError};
 
 use crate::closed_form::buffer_size_closed_form;
@@ -35,6 +36,21 @@ impl SizeTable {
             }
         }
         SizeTable { big_n, sizes }
+    }
+
+    /// Builds like [`SizeTable::build`], timing the precompute into
+    /// the [`PHASE_TABLE_BUILD`] histogram and publishing the entry
+    /// count on the [`GAUGE_TABLE_ENTRIES`] gauge. With a detached
+    /// [`Metrics`] this is exactly `build` (no clock read).
+    #[must_use]
+    pub fn build_instrumented(params: &SystemParams, metrics: &Metrics) -> Self {
+        let timer = metrics.histogram(PHASE_TABLE_BUILD).start_timer();
+        let table = Self::build(params);
+        timer.stop();
+        metrics
+            .gauge(GAUGE_TABLE_ENTRIES)
+            .set(table.sizes.len() as f64);
+        table
     }
 
     /// Validates the parameters, then builds.
@@ -135,5 +151,26 @@ mod tests {
     fn reports_big_n() {
         let (_, t) = table();
         assert_eq!(t.max_requests(), 79);
+    }
+
+    #[test]
+    fn instrumented_build_matches_and_records_a_phase_sample() {
+        use std::sync::Arc;
+        use vod_obs::metrics::MetricsRegistry;
+
+        let p = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        let plain = SizeTable::build(&p);
+
+        // Detached metrics: plain build, no panic.
+        let t = SizeTable::build_instrumented(&p, &Metrics::null());
+        assert_eq!(t.size(40, 7), plain.size(40, 7));
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let t = SizeTable::build_instrumented(&p, &Metrics::new(Arc::clone(&reg)));
+        assert_eq!(t.size(79, 0), plain.size(79, 0));
+        let snap = reg.snapshot();
+        let hist = snap.histogram(PHASE_TABLE_BUILD).unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(snap.gauge(GAUGE_TABLE_ENTRIES), Some(6400.0));
     }
 }

@@ -1,0 +1,177 @@
+//! Minimal single-threaded HTTP scrape endpoint for the metrics
+//! registry.
+//!
+//! Built directly on [`std::net::TcpListener`] — one accept thread,
+//! GET-only, `Connection: close` — so `repro --metrics-addr
+//! 127.0.0.1:9100` can be scraped by Prometheus (or `curl`) without
+//! pulling in an HTTP stack. Anything fancier (keep-alive, TLS,
+//! routing) is out of scope: the server exists to serve one text
+//! document to a trusted scraper.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::MetricsRegistry;
+use crate::prom;
+
+/// A running scrape endpoint. Dropping (or calling
+/// [`MetricsServer::shutdown`]) stops the accept thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9100"`; port 0 picks a free
+    /// port) and serves the current state of `registry` on every GET.
+    pub fn bind(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("vod-metrics-http".to_owned())
+            .spawn(move || serve(&listener, &registry, &thread_stop))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful when binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection to ourselves.
+        drop(TcpStream::connect(self.addr));
+        if let Some(handle) = self.handle.take() {
+            drop(handle.join());
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn serve(listener: &TcpListener, registry: &Arc<MetricsRegistry>, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A misbehaving client must not wedge the endpoint.
+        drop(stream.set_read_timeout(Some(Duration::from_secs(2))));
+        drop(stream.set_write_timeout(Some(Duration::from_secs(2))));
+        handle_connection(stream, registry);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Arc<MetricsRegistry>) {
+    let mut buf = [0u8; 1024];
+    let mut filled = 0usize;
+    // Read until the end of the request head (or buffer full / EOF);
+    // the request body, if any, is ignored.
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..filled]);
+    let is_get = head
+        .lines()
+        .next()
+        .is_some_and(|line| line.starts_with("GET "));
+    let response = if is_get {
+        let body = prom::render(&registry.snapshot());
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        let body = "method not allowed\n";
+        format!(
+            "HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\nContent-Type: text/plain\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    drop(stream.write_all(response.as_bytes()));
+    drop(stream.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_text_on_get() {
+        let reg = Arc::new(MetricsRegistry::new());
+        Metrics::new(Arc::clone(&reg))
+            .counter("vod_cycles_total")
+            .add(3);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let addr = server.local_addr();
+        let body = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "got: {body}");
+        assert!(body.contains("vod_cycles_total 3"));
+        // Live values: the next scrape sees the updated counter.
+        Metrics::new(Arc::clone(&reg))
+            .counter("vod_cycles_total")
+            .inc();
+        let body = scrape(addr, "GET / HTTP/1.0\r\n\r\n");
+        assert!(body.contains("vod_cycles_total 4"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_methods() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", reg).unwrap();
+        let body = scrape(
+            server.local_addr(),
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(body.starts_with("HTTP/1.1 405"), "got: {body}");
+    }
+}

@@ -24,6 +24,18 @@
 //! simulation. A run with any sink attached is bit-identical to a run
 //! with none — `vod-sim` asserts this in its test suite.
 //!
+//! # Aggregate metrics and profiling
+//!
+//! Orthogonal to the event stream, [`metrics`] provides a lock-free
+//! [`MetricsRegistry`] of atomic counters, gauges, and log-bucketed
+//! histograms that never drops and never allocates on the hot path;
+//! [`profile::Timed`] is the RAII phase timer feeding it. [`prom`]
+//! renders a registry snapshot in the Prometheus text format and
+//! [`http::MetricsServer`] serves it over a one-thread GET-only
+//! scrape endpoint. An [`Obs`] handle can carry a [`Metrics`] handle
+//! alongside its sink ([`Obs::with_metrics`]), so one handle threads
+//! both through the engine.
+//!
 //! # No external dependencies
 //!
 //! JSON is hand-rolled ([`json`]); the recorder uses `std::sync::Mutex`.
@@ -32,11 +44,20 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod http;
 pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod prom;
 pub mod recorder;
 pub mod sink;
 
 pub use event::{Event, EventKind, RejectReason};
+pub use http::MetricsServer;
+pub use metrics::{
+    Counter, Gauge, Histo, HistoSnapshot, LogHistogram, Metrics, MetricsRegistry, MetricsSnapshot,
+};
+pub use profile::Timed;
 pub use recorder::{
     Histogram, HistogramSnapshot, RecorderSink, RecorderSnapshot, HIST_CYCLE_SLACK,
     HIST_POOL_OCCUPANCY, HIST_SERVICE_LATENCY,

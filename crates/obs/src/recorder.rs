@@ -356,6 +356,40 @@ mod tests {
     }
 
     #[test]
+    fn histogram_ignores_every_non_finite_input() {
+        let mut h = Histogram::new("h", &[1.0, 2.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.counts, vec![0, 0, 0]);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!((s.min, s.max), (None, None));
+        // Non-finite noise must not poison later valid samples.
+        h.record(f64::NAN);
+        h.record(1.5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (Some(1.5), Some(1.5)));
+        assert_eq!(s.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_accepts_negative_and_negative_zero_inputs() {
+        let mut h = Histogram::new("h", &[0.0, 1.0]);
+        h.record(-3.0); // below every bound: first bucket
+        h.record(-0.0); // -0.0 <= 0.0: first bucket
+        h.record(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, Some(-3.0));
+        assert_eq!(s.max, Some(0.5));
+        assert_eq!(s.sum, -2.5);
+    }
+
+    #[test]
     fn empty_histogram_has_no_extrema() {
         let s = Histogram::new("h", &[1.0]).snapshot();
         assert_eq!(s.count, 0);

@@ -4,6 +4,7 @@ use core::fmt;
 use std::sync::Arc;
 
 use crate::event::{Event, EventKind};
+use crate::metrics::Metrics;
 
 /// A set of [`EventKind`]s, packed into a bitmask.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -172,19 +173,43 @@ impl Sink for StderrSink {
 #[derive(Clone, Default)]
 pub struct Obs {
     sink: Option<Arc<dyn Sink>>,
+    metrics: Metrics,
 }
 
 impl Obs {
     /// A detached handle: nothing is constructed, nothing recorded.
     #[must_use]
     pub fn null() -> Self {
-        Obs { sink: None }
+        Obs {
+            sink: None,
+            metrics: Metrics::null(),
+        }
     }
 
     /// Attaches a sink.
     #[must_use]
     pub fn new(sink: Arc<dyn Sink>) -> Self {
-        Obs { sink: Some(sink) }
+        Obs {
+            sink: Some(sink),
+            metrics: Metrics::null(),
+        }
+    }
+
+    /// Attaches a metrics handle, keeping any sink. The handle rides
+    /// along wherever the `Obs` is threaded, so instrumented code can
+    /// resolve counters and phase histograms from the observer it
+    /// already holds.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics handle carried by this observer (detached unless
+    /// [`Obs::with_metrics`] attached one).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The historical default: a [`StderrSink`] when any `VOD_DEBUG_*`
@@ -296,6 +321,19 @@ mod tests {
             deficit: Bits::new(10.0),
         });
         assert_eq!(rec.snapshot().counter(EventKind::Underflow), 1);
+    }
+
+    #[test]
+    fn obs_carries_a_metrics_handle() {
+        use crate::metrics::MetricsRegistry;
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = Obs::null().with_metrics(Metrics::new(Arc::clone(&reg)));
+        assert!(!obs.is_attached(), "metrics do not imply a sink");
+        assert!(obs.metrics().is_attached());
+        obs.metrics().counter("x_total").inc();
+        obs.clone().metrics().counter("x_total").inc();
+        assert_eq!(reg.snapshot().counter("x_total"), Some(2));
+        assert!(!Obs::null().metrics().is_attached());
     }
 
     #[test]

@@ -27,7 +27,11 @@ use rand::{Rng, SeedableRng};
 use vod_core::scheme::Sizer;
 use vod_core::{memory, AdmissionController, ArrivalLog, SchemeKind, SystemParams};
 use vod_disk::{Disk, LatencyModel};
-use vod_obs::{Event, EventKind, Obs, RejectReason};
+use vod_obs::metrics::{
+    Metrics, CTR_ADMITTED, CTR_CYCLES, CTR_DEFERRED, CTR_REJECTED, CTR_SERVICES, CTR_UNDERFLOWS,
+    PHASE_ADMISSION, PHASE_CYCLE_PLAN, PHASE_SERVICE,
+};
+use vod_obs::{Counter, Event, EventKind, Histo, Obs, RejectReason};
 use vod_sched::{AdmissionTiming, SchedulingMethod};
 use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VideoId};
 use vod_workload::Arrival;
@@ -157,6 +161,40 @@ impl MemTracker {
     }
 }
 
+/// Metric handles resolved once at construction. Registration takes a
+/// lock, so the hot loop only ever touches pre-resolved handles —
+/// relaxed atomics when a registry is attached, single-branch no-ops
+/// otherwise. Values mirror already-maintained [`DiskRunStats`]
+/// fields plus wall-clock phase timings; the engine never reads them
+/// back, so an attached registry cannot perturb a run.
+struct EngineMetrics {
+    cycle_plan: Histo,
+    service: Histo,
+    admission: Histo,
+    cycles: Counter,
+    services: Counter,
+    admitted: Counter,
+    deferred: Counter,
+    rejected: Counter,
+    underflows: Counter,
+}
+
+impl EngineMetrics {
+    fn resolve(m: &Metrics) -> Self {
+        EngineMetrics {
+            cycle_plan: m.histogram(PHASE_CYCLE_PLAN),
+            service: m.histogram(PHASE_SERVICE),
+            admission: m.histogram(PHASE_ADMISSION),
+            cycles: m.counter(CTR_CYCLES),
+            services: m.counter(CTR_SERVICES),
+            admitted: m.counter(CTR_ADMITTED),
+            deferred: m.counter(CTR_DEFERRED),
+            rejected: m.counter(CTR_REJECTED),
+            underflows: m.counter(CTR_UNDERFLOWS),
+        }
+    }
+}
+
 /// The single-disk server engine.
 pub struct DiskEngine {
     cfg: EngineConfig,
@@ -188,6 +226,7 @@ pub struct DiskEngine {
     sampled_disk: Option<Box<Disk>>,
     rng: SmallRng,
     obs: Obs,
+    m: EngineMetrics,
 }
 
 impl DiskEngine {
@@ -220,12 +259,17 @@ impl DiskEngine {
             LatencyModel::WorstCase => None,
             LatencyModel::Sampled => Some(Box::new(Disk::new(cfg.params.disk.clone())?)),
         };
-        let sizer = Sizer::new(cfg.scheme, &cfg.params)?;
+        let m = EngineMetrics::resolve(obs.metrics());
+        let sizer = Sizer::new_instrumented(cfg.scheme, &cfg.params, obs.metrics())?;
         let scheme = match cfg.scheme {
             SchemeKind::Static | SchemeKind::StaticMaxUse => SchemeState::Static,
             SchemeKind::NaiveDynamic => SchemeState::Naive(ArrivalLog::new(cfg.t_log)),
             SchemeKind::Dynamic => {
-                let mut ctl = AdmissionController::new(cfg.params.clone(), cfg.t_log)?;
+                let mut ctl = AdmissionController::new_instrumented(
+                    cfg.params.clone(),
+                    cfg.t_log,
+                    obs.metrics(),
+                )?;
                 ctl.set_observer(obs.clone());
                 SchemeState::Dynamic(Box::new(ctl))
             }
@@ -253,6 +297,7 @@ impl DiskEngine {
             sampled_disk,
             rng,
             obs,
+            m,
         })
     }
 
@@ -301,15 +346,20 @@ impl DiskEngine {
                 if self.cycle_active {
                     self.last_period = Some(self.t - self.cycle_start);
                     self.stats.cycles += 1;
+                    self.m.cycles.inc();
                     self.cycle_active = false;
                     idle_cycle = self.cycle_services == 0;
                 }
                 self.order.clear();
                 self.process_due_departures();
                 self.try_admissions();
+                // One sample per boundary: order rebuild, plus the
+                // cycle-start planning when the roster is non-empty.
+                let plan_timer = self.m.cycle_plan.start_timer();
                 self.rebuild_order();
 
                 if self.order.is_empty() {
+                    plan_timer.stop();
                     // Idle: jump to the next external event (arrival,
                     // departure, or a queued request's slot boundary).
                     let candidates = [
@@ -329,6 +379,7 @@ impl DiskEngine {
                             // memory-rejected — drop them.
                             while self.pending.pop_front().is_some() {
                                 self.stats.rejected += 1;
+                                self.m.rejected.inc();
                                 let n = self.streams.len() + self.pending.len();
                                 self.obs.emit_with(EventKind::RequestRejected, || {
                                     Event::RequestRejected {
@@ -344,6 +395,7 @@ impl DiskEngine {
                 }
 
                 let plan = self.plan_cycle_start();
+                plan_timer.stop();
                 if idle_cycle && plan.is_some_and(|p| p.start <= self.t) {
                     // The last cycle read nothing and we would re-run it at
                     // the same instant: every stream is over-provisioned
@@ -473,6 +525,7 @@ impl DiskEngine {
     fn note_deficit(&mut self, id: RequestId, at: Instant, deficit: Bits) {
         if deficit.as_f64() > 64.0 {
             self.stats.underflows += 1;
+            self.m.underflows.inc();
             self.stats.underflow_deficit += deficit;
             let n = self.streams.len();
             self.obs
@@ -503,6 +556,7 @@ impl DiskEngine {
         // now, not parked for an hour.
         if n >= self.cfg.params.max_requests() {
             self.stats.rejected += 1;
+            self.m.rejected.inc();
             self.obs
                 .emit_with(EventKind::RequestRejected, || Event::RequestRejected {
                     at: a.at,
@@ -513,6 +567,7 @@ impl DiskEngine {
         }
         if !self.memory_admits(n + 1, a.at) {
             self.stats.rejected += 1;
+            self.m.rejected.inc();
             self.obs
                 .emit_with(EventKind::RequestRejected, || Event::RequestRejected {
                     at: a.at,
@@ -555,6 +610,7 @@ impl DiskEngine {
     }
 
     fn try_admissions(&mut self) {
+        let _t = self.m.admission.start_timer();
         loop {
             let Some(head) = self.pending.front().copied() else {
                 return;
@@ -591,6 +647,7 @@ impl DiskEngine {
                     if !front.deferred_counted {
                         front.deferred_counted = true;
                         self.stats.deferrals += 1;
+                        self.m.deferred.inc();
                         newly_deferred = true;
                     }
                 }
@@ -645,6 +702,7 @@ impl DiskEngine {
         stream.eligible_at = p.eligible_at.max(self.t);
         self.streams.insert(p.id, stream);
         self.stats.admitted += 1;
+        self.m.admitted.inc();
         self.conc_events.push((self.t, 1));
         let n_now = self.streams.len();
         self.obs
@@ -703,6 +761,7 @@ impl DiskEngine {
     // ---------- service ----------
 
     fn service(&mut self, id: RequestId) {
+        let _t = self.m.service.start_timer();
         let cr = self.cfg.params.cr();
         let crf = cr.as_f64();
         let n_active = self.streams.len();
@@ -792,6 +851,7 @@ impl DiskEngine {
                     deficit: upd.deficit,
                 });
             self.stats.underflows += 1;
+            self.m.underflows.inc();
             self.stats.underflow_deficit += upd.deficit;
         }
 
@@ -888,6 +948,7 @@ impl DiskEngine {
                 first_fill: !started,
             });
         self.stats.services += 1;
+        self.m.services.inc();
         self.cycle_services += 1;
         self.t = t_done;
     }
@@ -1500,5 +1561,68 @@ mod tests {
         assert_eq!(a.services, b.services);
         assert_eq!(a.il_samples, b.il_samples);
         assert_eq!(a.peak_memory, b.peak_memory);
+    }
+
+    #[test]
+    fn metrics_registry_does_not_perturb_the_run() {
+        use std::sync::Arc;
+        use vod_obs::metrics::{
+            Metrics, MetricsRegistry, CTR_ADMITTED, CTR_CYCLES, CTR_DEFERRED, CTR_REJECTED,
+            CTR_SERVICES, CTR_UNDERFLOWS, PHASE_ADMISSION, PHASE_CYCLE_PLAN, PHASE_SERVICE,
+            PHASE_TABLE_BUILD,
+        };
+        use vod_obs::Obs;
+
+        // A bursty trace exercising admission deferral, rejection, and
+        // departures — the paths the instrumentation touches.
+        let mut trace: Vec<Arrival> = (0..50)
+            .map(|i| arrival(1.0 + f64::from(i) * 0.05, 150.0))
+            .collect();
+        trace.extend((0..40).map(|i| arrival(60.0 + f64::from(i) * 0.4, 120.0)));
+        let cfg = EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Dynamic);
+        let plain = DiskEngine::with_observer(cfg.clone(), Obs::null())
+            .expect("valid")
+            .run(&trace);
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = Obs::null().with_metrics(Metrics::new(Arc::clone(&reg)));
+        let observed = DiskEngine::with_observer(cfg, obs)
+            .expect("valid")
+            .run(&trace);
+
+        // Bit-identical measurements, field by field (the acceptance
+        // criterion: an attached registry must not perturb the run).
+        assert_eq!(plain.il_samples, observed.il_samples);
+        assert_eq!(plain.audits, observed.audits);
+        assert_eq!(plain.concurrency, observed.concurrency);
+        assert_eq!(plain.admitted, observed.admitted);
+        assert_eq!(plain.rejected, observed.rejected);
+        assert_eq!(plain.deferrals, observed.deferrals);
+        assert_eq!(plain.services, observed.services);
+        assert_eq!(plain.cycles, observed.cycles);
+        assert_eq!(plain.underflows, observed.underflows);
+        assert_eq!(plain.underflow_deficit, observed.underflow_deficit);
+        assert_eq!(plain.peak_memory, observed.peak_memory);
+        assert_eq!(plain.finished_at, observed.finished_at);
+
+        // The registry's counters mirror the stats exactly, and every
+        // engine phase histogram recorded samples.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(CTR_ADMITTED), Some(observed.admitted));
+        assert_eq!(snap.counter(CTR_REJECTED), Some(observed.rejected));
+        assert_eq!(snap.counter(CTR_DEFERRED), Some(observed.deferrals));
+        assert_eq!(snap.counter(CTR_SERVICES), Some(observed.services));
+        assert_eq!(snap.counter(CTR_CYCLES), Some(observed.cycles));
+        assert_eq!(snap.counter(CTR_UNDERFLOWS), Some(observed.underflows));
+        // The phase histogram counts service *attempts*; a stream found
+        // over-provisioned returns early without a disk read, so the
+        // sample count can exceed `services` but never undershoot it.
+        assert!(snap.histogram(PHASE_SERVICE).expect("registered").count >= observed.services);
+        assert_eq!(
+            snap.histogram(PHASE_TABLE_BUILD).expect("registered").count,
+            2,
+            "sizer + admission controller each precompute a table"
+        );
+        assert!(snap.histogram(PHASE_CYCLE_PLAN).expect("registered").count >= observed.cycles);
+        assert!(snap.histogram(PHASE_ADMISSION).expect("registered").count > 0);
     }
 }

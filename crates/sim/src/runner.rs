@@ -148,8 +148,13 @@ pub fn run_latency_experiment_observed(
                 let obs = observer(seed);
                 scope.spawn(move || {
                     let started = std::time::Instant::now();
+                    let gen_timer = obs
+                        .metrics()
+                        .histogram(vod_obs::metrics::PHASE_WORKLOAD_GEN)
+                        .start_timer();
                     let workload =
                         generate(&wl_cfg, seed).expect("workload config validated above");
+                    gen_timer.stop();
                     let engine = DiskEngine::with_observer(engine_cfg, obs)
                         .expect("engine config validated above");
                     let stats = engine.run(&workload.arrivals);
@@ -299,5 +304,120 @@ mod tests {
         let mut exp = small_experiment(SchemeKind::Dynamic);
         exp.workload.theta = 9.0;
         assert!(run_latency_experiment(&exp).is_err());
+    }
+
+    /// Everything in a [`RunReport`] except the host wall-clock, which
+    /// is the one legitimately non-deterministic field.
+    fn deterministic_part(r: &RunReport) -> (u64, u64, u64, u64, u64, u64, u64, Bits) {
+        (
+            r.seed,
+            r.admitted,
+            r.deferred,
+            r.rejected,
+            r.underflows,
+            r.services,
+            r.cycles,
+            r.peak_memory,
+        )
+    }
+
+    fn observed_with_seeds(seeds: Vec<u64>) -> ObservedLatencyResult {
+        let mut exp = small_experiment(SchemeKind::Dynamic);
+        exp.seeds = seeds;
+        run_latency_experiment_observed(&exp, &|_| Obs::null()).expect("valid experiment")
+    }
+
+    #[test]
+    fn per_seed_reports_are_seed_deterministic() {
+        let a = observed_with_seeds(vec![1, 2]);
+        let b = observed_with_seeds(vec![1, 2]);
+        assert_eq!(a.reports.len(), 2);
+        assert_eq!(a.reports[0].seed, 1, "reports follow experiment seed order");
+        assert_eq!(a.reports[1].seed, 2);
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(deterministic_part(ra), deterministic_part(rb));
+        }
+        // Different seeds genuinely differ (the workloads do).
+        let s1 = deterministic_part(&a.reports[0]);
+        let s2 = deterministic_part(&a.reports[1]);
+        assert_ne!(
+            (s1.1, s1.5, s1.6),
+            (s2.1, s2.5, s2.6),
+            "seeds 1 and 2 produced identical runs"
+        );
+    }
+
+    #[test]
+    fn merge_is_seed_order_independent() {
+        let fwd = observed_with_seeds(vec![1, 2]);
+        let rev = observed_with_seeds(vec![2, 1]);
+
+        // Per-seed reports match up after aligning on seed.
+        let find = |o: &ObservedLatencyResult, seed: u64| {
+            deterministic_part(o.reports.iter().find(|r| r.seed == seed).expect("seed ran"))
+        };
+        assert_eq!(find(&fwd, 1), find(&rev, 1));
+        assert_eq!(find(&fwd, 2), find(&rev, 2));
+
+        // Merged counters and order-insensitive statistics agree
+        // exactly; the mean only up to float-summation order.
+        let (f, r) = (&fwd.result.stats, &rev.result.stats);
+        assert_eq!(f.admitted, r.admitted);
+        assert_eq!(f.rejected, r.rejected);
+        assert_eq!(f.deferrals, r.deferrals);
+        assert_eq!(f.services, r.services);
+        assert_eq!(f.cycles, r.cycles);
+        assert_eq!(f.underflows, r.underflows);
+        assert_eq!(f.peak_memory, r.peak_memory);
+        assert_eq!(f.il_samples.len(), r.il_samples.len());
+        assert_eq!(f.latency_percentile(0.5), r.latency_percentile(0.5));
+        assert_eq!(f.latency_percentile(0.95), r.latency_percentile(0.95));
+        let (mf, mr) = (
+            f.mean_latency().expect("samples").as_secs_f64(),
+            r.mean_latency().expect("samples").as_secs_f64(),
+        );
+        assert!((mf - mr).abs() < 1e-9, "means diverged: {mf} vs {mr}");
+        assert_eq!(fwd.result.audit.samples, rev.result.audit.samples);
+    }
+
+    #[test]
+    fn shared_metrics_registry_aggregates_across_seed_threads() {
+        use std::sync::Arc;
+        use vod_obs::metrics::{
+            Metrics, MetricsRegistry, CTR_ADMITTED, CTR_CYCLES, CTR_SERVICES, PHASE_ADMISSION,
+            PHASE_CYCLE_PLAN, PHASE_SERVICE, PHASE_TABLE_BUILD, PHASE_WORKLOAD_GEN,
+        };
+
+        let exp = small_experiment(SchemeKind::Dynamic);
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = Obs::null().with_metrics(Metrics::new(Arc::clone(&reg)));
+        let res =
+            run_latency_experiment_observed(&exp, &|_| obs.clone()).expect("valid experiment");
+        let snap = reg.snapshot();
+
+        // Counters agree with the merged stats exactly.
+        let stats = &res.result.stats;
+        assert_eq!(snap.counter(CTR_ADMITTED), Some(stats.admitted));
+        assert_eq!(snap.counter(CTR_SERVICES), Some(stats.services));
+        assert_eq!(snap.counter(CTR_CYCLES), Some(stats.cycles));
+
+        // Every instrumented phase recorded samples: workload gen once
+        // per seed, table build twice per engine (sizer + admission
+        // controller), service once per disk read.
+        assert_eq!(
+            snap.histogram(PHASE_WORKLOAD_GEN)
+                .expect("registered")
+                .count,
+            2
+        );
+        assert_eq!(
+            snap.histogram(PHASE_TABLE_BUILD).expect("registered").count,
+            4
+        );
+        // Service attempts can exceed completed services (early return
+        // for over-provisioned streams) but never undershoot them.
+        assert!(snap.histogram(PHASE_SERVICE).expect("registered").count >= stats.services);
+        assert!(snap.histogram(PHASE_CYCLE_PLAN).expect("registered").count > 0);
+        assert!(snap.histogram(PHASE_ADMISSION).expect("registered").count > 0);
     }
 }
