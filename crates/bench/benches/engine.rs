@@ -1,12 +1,21 @@
 //! Throughput of the simulators: buffer-level engine runs (one simulated
 //! hour, per scheme × method) and the admission-level capacity simulator.
 //! These time the code paths every figure regeneration exercises.
+//!
+//! The `admission_bound` and `cycle_plan` groups microbenchmark the
+//! incremental hot-path structures at n ∈ {10, 100, 1000}: the counting
+//! multiset behind the O(1) Assumption-1/2 admission bound, the
+//! generational slab behind the stream store, and the short-circuiting
+//! order repair behind the per-cycle position sort. (A real controller
+//! tops out at the paper's N = 79 concurrent streams, so the scaling
+//! points above that drive the structures directly — the same code the
+//! engine runs, minus the simulation around it.)
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use vod_core::{SchemeKind, SystemParams};
+use vod_core::{AdmissionController, MinMultiset, SchemeKind, SystemParams};
 use vod_sched::SchedulingMethod;
-use vod_sim::{CapacityConfig, CapacitySim, DiskEngine, EngineConfig};
-use vod_types::{Bits, Seconds};
+use vod_sim::{CapacityConfig, CapacitySim, DiskEngine, EngineConfig, Slab};
+use vod_types::{Bits, Instant, RequestId, Seconds};
 use vod_workload::{generate, Workload, WorkloadConfig};
 
 fn one_hour_workload(seed: u64) -> Workload {
@@ -68,10 +77,107 @@ fn bench_workload_generation(c: &mut Criterion) {
     });
 }
 
+/// The admission-bound query path: one allocate-shaped update (remove
+/// old bound, insert new) followed by the min query, against a multiset
+/// holding `n` outstanding `(n_i + k_i)` bounds.
+fn bench_admission_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_bound");
+    for n in [10usize, 100, 1000] {
+        let mut agg = MinMultiset::new();
+        for i in 0..n {
+            // Bound values cluster the way real allocations do: n + k
+            // with k small relative to n.
+            agg.insert(n + i % 7);
+        }
+        let mut i = 0usize;
+        group.bench_function(format!("multiset_update_query/{n}"), |b| {
+            b.iter(|| {
+                let old = n + i % 7;
+                let new = n + (i + 1) % 7;
+                agg.remove(old);
+                agg.insert(new);
+                i += 1;
+                black_box(agg.min())
+            })
+        });
+    }
+    // The full controller at paper load: every active stream holds an
+    // allocation, then the bound is queried the way `plan_cycle_start`
+    // queries it.
+    let params = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+    let n = params.max_requests();
+    let mut ctl =
+        AdmissionController::new(params, Seconds::from_minutes(40.0)).expect("valid params");
+    let period = Seconds::from_secs(2.0);
+    for i in 0..u64::try_from(n).expect("small n") {
+        let id = RequestId::new(i);
+        ctl.note_arrival(Instant::from_secs(i as f64 * 0.05));
+        if ctl.can_admit() {
+            ctl.admit(id).expect("under bound");
+            let _ = ctl.allocate(id, Instant::from_secs(i as f64 * 0.05 + 0.01), period);
+        }
+    }
+    group.bench_function(format!("controller_full_load/{n}"), |b| {
+        b.iter(|| black_box(ctl.admission_bound()))
+    });
+    group.finish();
+}
+
+/// The cycle-planning data layer: slab access churn (the per-service
+/// lookup pattern) and order repair (the already-sorted check plus the
+/// stable `total_cmp` fallback after a positional perturbation).
+fn bench_cycle_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_plan");
+    for n in [10usize, 100, 1000] {
+        let mut slab: Slab<u64> = Slab::new();
+        let slots: Vec<_> = (0..n as u64).map(|v| slab.insert(v)).collect();
+        group.bench_function(format!("slab_scan/{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &s in &slots {
+                    acc = acc.wrapping_add(*slab.get(s).expect("live"));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(format!("slab_churn/{n}"), |b| {
+            let mut cursor = 0usize;
+            b.iter(|| {
+                let mut local = slab.clone();
+                let victim = slots[cursor % n];
+                cursor += 1;
+                local.remove(victim);
+                black_box(local.insert(u64::MAX))
+            })
+        });
+        // Order repair: ranks are stable across cycles, so the common
+        // case is one O(n) sortedness check; the fallback is a stable
+        // sort over the scratch pairs.
+        let sorted: Vec<(f64, usize)> = (0..n).map(|i| (i as f64, i)).collect();
+        group.bench_function(format!("order_repair_sorted/{n}"), |b| {
+            b.iter(|| black_box(sorted.windows(2).all(|w| w[0].0 <= w[1].0)))
+        });
+        group.bench_function(format!("order_repair_resort/{n}"), |b| {
+            b.iter(|| {
+                let mut scratch = sorted.clone();
+                // One newcomer bubbled in out of position.
+                scratch[n / 2].0 = -1.0;
+                if !scratch.windows(2).all(|w| w[0].0 <= w[1].0) {
+                    scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+                }
+                black_box(scratch.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_capacity_sim,
-    bench_workload_generation
+    bench_workload_generation,
+    bench_admission_bound,
+    bench_cycle_plan
 );
 criterion_main!(benches);

@@ -1,0 +1,433 @@
+//! Baseline comparison for `repro bench --check`.
+//!
+//! CI pins a committed `BENCH_perf.json` (generated with
+//! `repro bench --smoke`) and re-runs the same matrix on every change.
+//! Everything deterministic — the matrix shape, the admission counters,
+//! the peak pool memory — must match the baseline **exactly**: the
+//! simulation is bit-reproducible per seed, so any drift is a semantic
+//! change, not noise. Wall-clock is host-dependent and only checked
+//! against a generous slowdown factor, so the gate catches order-of-
+//! magnitude performance regressions without flaking on CI hosts.
+//!
+//! The parser below covers exactly the JSON the report writer
+//! ([`crate::perf::BenchReport::to_json`]) produces. Floats are written
+//! in shortest round-trip form ([`vod_obs::json::number`]), so parsing
+//! them back recovers identical bits and float fields can be compared
+//! for equality.
+
+use std::collections::BTreeMap;
+
+use crate::perf::BenchReport;
+
+/// How many times slower than baseline a cell's wall-clock may be before
+/// the check fails. Deliberately loose: the gate is for regressions an
+/// optimisation PR must notice, not for scheduler jitter.
+pub const WALL_CLOCK_SLOWDOWN_LIMIT: f64 = 10.0;
+
+/// A parsed JSON value (just enough for `BENCH_perf.json`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also produced for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64` (exact for the magnitudes we emit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is irrelevant for comparison.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an exact `u64`, if representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Some(x as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with a byte offset on malformed input or trailing
+/// garbage.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-utf8 number".to_owned())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("non-utf8 string at byte {}", *pos))?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut out = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        out.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+/// The deterministic per-cell counters the gate compares exactly.
+const EXACT_COUNTERS: [&str; 6] = [
+    "cycles",
+    "services",
+    "admitted",
+    "deferred",
+    "rejected",
+    "underflows",
+];
+
+/// Compares a fresh [`BenchReport`] against a committed baseline
+/// document.
+///
+/// On success returns one informative line per cell (speed ratio vs the
+/// baseline). On failure returns every detected drift: matrix-shape
+/// mismatches, exact-counter drift, `peak_memory_mib` drift (also
+/// deterministic), and wall-clock slowdowns beyond
+/// [`WALL_CLOCK_SLOWDOWN_LIMIT`]×.
+///
+/// # Errors
+///
+/// The `Err` variant carries the human-readable drift list.
+pub fn check_against_baseline(
+    report: &BenchReport,
+    baseline_src: &str,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut drift: Vec<String> = Vec::new();
+    let mut info: Vec<String> = Vec::new();
+
+    let baseline = match parse(baseline_src) {
+        Ok(b) => b,
+        Err(e) => return Err(vec![format!("baseline does not parse: {e}")]),
+    };
+
+    let mode = baseline.get("mode").and_then(Json::as_str).unwrap_or("?");
+    if mode != report.mode.label() {
+        drift.push(format!(
+            "mode mismatch: baseline `{mode}`, run `{}` (regenerate the baseline or pass the matching flag)",
+            report.mode.label()
+        ));
+        return Err(drift);
+    }
+    let seeds: Vec<u64> = baseline
+        .get("seeds")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(Json::as_u64).collect())
+        .unwrap_or_default();
+    if seeds != report.seeds {
+        drift.push(format!(
+            "seed list mismatch: baseline {seeds:?}, run {:?}",
+            report.seeds
+        ));
+    }
+
+    let empty: Vec<Json> = Vec::new();
+    let cells = baseline
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    if cells.len() != report.cells.len() {
+        drift.push(format!(
+            "cell count mismatch: baseline {}, run {}",
+            cells.len(),
+            report.cells.len()
+        ));
+        return Err(drift);
+    }
+
+    for (base, cell) in cells.iter().zip(&report.cells) {
+        let label = format!(
+            "{}/{}/θ={}",
+            base.get("scheme").and_then(Json::as_str).unwrap_or("?"),
+            base.get("method").and_then(Json::as_str).unwrap_or("?"),
+            base.get("theta").and_then(Json::as_f64).unwrap_or(f64::NAN),
+        );
+        let run_counters: [u64; 6] = [
+            cell.cycles,
+            cell.services,
+            cell.admitted,
+            cell.deferred,
+            cell.rejected,
+            cell.underflows,
+        ];
+        for (key, r) in EXACT_COUNTERS.into_iter().zip(run_counters) {
+            let b = base.get(key).and_then(Json::as_u64);
+            if b != Some(r) {
+                drift.push(format!("{label}: {key} baseline {b:?} != run {r}"));
+            }
+        }
+        let b_peak = base.get("peak_memory_mib").and_then(Json::as_f64);
+        let r_peak = Some(cell.peak_memory_mib);
+        if b_peak.map(f64::to_bits) != r_peak.map(f64::to_bits) {
+            drift.push(format!(
+                "{label}: peak_memory_mib baseline {b_peak:?} != run {r_peak:?}"
+            ));
+        }
+        let b_wall = base
+            .get("wall_clock_s")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if b_wall > 0.0 && cell.wall_clock_s > b_wall * WALL_CLOCK_SLOWDOWN_LIMIT {
+            drift.push(format!(
+                "{label}: wall-clock {:.2}s is more than {WALL_CLOCK_SLOWDOWN_LIMIT}x the baseline {b_wall:.2}s",
+                cell.wall_clock_s
+            ));
+        }
+        if b_wall > 0.0 && cell.wall_clock_s > 0.0 {
+            info.push(format!(
+                "{label}: {:.2}x baseline speed ({:.2}s vs {b_wall:.2}s)",
+                b_wall / cell.wall_clock_s,
+                cell.wall_clock_s
+            ));
+        }
+    }
+
+    if drift.is_empty() {
+        Ok(info)
+    } else {
+        Err(drift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_report_shapes() {
+        let doc = r#"{"version":1,"mode":"smoke","seeds":[1,2],"cells":[{"scheme":"static","theta":0.5,"cycles":47667,"peak_memory_mib":1810.5721923828125}],"total_wall_clock_s":0.53}"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("smoke"));
+        let seeds: Vec<u64> = v
+            .get("seeds")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        assert_eq!(seeds, vec![1, 2]);
+        let cell = &v.get("cells").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(cell.get("cycles").and_then(Json::as_u64), Some(47667));
+        // Shortest round-trip floats parse back to identical bits.
+        assert_eq!(
+            cell.get("peak_memory_mib").and_then(Json::as_f64),
+            Some(1810.5721923828125)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+    }
+
+    #[test]
+    fn check_flags_counter_drift_and_accepts_self() {
+        let report = crate::perf::run_bench(crate::perf::BenchMode::Smoke, 1, &|_| {});
+        let json = report.to_json();
+        // A report always matches its own serialization.
+        let ok = check_against_baseline(&report, &json);
+        assert!(ok.is_ok(), "self-check failed: {:?}", ok.err());
+        // Perturbing one counter must fail the check.
+        let broken = json.replacen(
+            &format!("\"cycles\":{}", report.cells[0].cycles),
+            &format!("\"cycles\":{}", report.cells[0].cycles + 1),
+            1,
+        );
+        assert_ne!(json, broken, "perturbation must hit");
+        let err = check_against_baseline(&report, &broken);
+        assert!(err.is_err());
+        let drift = err.unwrap_err();
+        assert!(
+            drift.iter().any(|d| d.contains("cycles")),
+            "drift lines: {drift:?}"
+        );
+    }
+}

@@ -40,8 +40,8 @@ use std::time::Instant;
 
 use vod_analysis::{write_csv, Table};
 use vod_bench::{
-    fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, run_bench, tab3, tab4, tab5,
-    vcr, BenchMode, Scale,
+    check_against_baseline, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g,
+    run_bench, tab3, tab4, tab5, vcr, BenchMode, Scale,
 };
 use vod_obs::{json, prom, Metrics, MetricsRegistry, MetricsServer, Obs, RecorderSink};
 
@@ -98,7 +98,7 @@ fn print_usage() {
          [--metrics <file.prom>] [--metrics-addr <host:port>] \
          <experiment>... | all | --list"
     );
-    eprintln!("       repro bench [--smoke] [--out <file>]");
+    eprintln!("       repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>]");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<6} {desc}");
@@ -106,10 +106,13 @@ fn print_usage() {
     eprintln!("  bench  pinned performance matrix -> BENCH_perf.json");
 }
 
-/// `repro bench [--smoke] [--out <file>]`: the perf-regression harness.
+/// `repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>]`:
+/// the perf-regression harness.
 fn bench_main(args: &[String]) -> ExitCode {
     let mut mode = BenchMode::Full;
     let mut out = PathBuf::from("BENCH_perf.json");
+    let mut check: Option<PathBuf> = None;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -121,6 +124,21 @@ fn bench_main(args: &[String]) -> ExitCode {
                 };
                 out = PathBuf::from(p);
             }
+            "--check" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--check requires a baseline file argument");
+                    return ExitCode::FAILURE;
+                };
+                check = Some(PathBuf::from(p));
+            }
+            "--jobs" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
+            }
             other => {
                 eprintln!("unknown bench option `{other}`");
                 print_usage();
@@ -128,7 +146,7 @@ fn bench_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    let report = run_bench(mode, &|line| eprintln!("{line}"));
+    let report = run_bench(mode, jobs, &|line| eprintln!("{line}"));
     for c in &report.cells {
         println!(
             "{:<14} {:<12} θ={:<4} {:>9} cycles  {:>10.0} cycles/s  {:>8.2} MiB peak  {:.2}s",
@@ -140,6 +158,39 @@ fn bench_main(args: &[String]) -> ExitCode {
             c.peak_memory_mib,
             c.wall_clock_s,
         );
+    }
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_against_baseline(&report, &baseline) {
+            Ok(lines) => {
+                for l in lines {
+                    eprintln!("{l}");
+                }
+                eprintln!(
+                    "[bench {} check OK against {}]",
+                    report.mode.label(),
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(drift) => {
+                for d in drift {
+                    eprintln!("bench drift: {d}");
+                }
+                eprintln!(
+                    "[bench {} check FAILED against {}]",
+                    report.mode.label(),
+                    baseline_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
     }
     let mut body = report.to_json();
     body.push('\n');

@@ -8,10 +8,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod perf;
 pub mod scale;
 
+pub use baseline::check_against_baseline;
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr,
 };

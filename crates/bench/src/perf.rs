@@ -9,10 +9,16 @@
 //! per instrumented phase.
 //!
 //! The numbers in the document are host-dependent (wall-clock); the
-//! counters and peak memory are deterministic for a given seed list. Runs
-//! are sequential so cells do not steal CPU from each other.
+//! counters and peak memory are deterministic for a given seed list.
+//! Cells are independent — each gets a private registry and a pinned
+//! seed list — so the matrix can run on a scoped thread pool
+//! (`repro bench --jobs N`). Results are collected by matrix index, so
+//! every counter in the report is byte-identical whatever the job count;
+//! only the wall-clock fields vary (and under `--jobs > 1` the per-cell
+//! wall-clocks include scheduling noise from neighbours).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant as WallInstant;
 
 use vod_core::SchemeKind;
@@ -246,17 +252,25 @@ fn run_cell(
     }
 }
 
-/// Runs the matrix for `mode`, sequentially, and collects the report.
+/// Runs the matrix for `mode` on up to `jobs` worker threads and
+/// collects the report.
 ///
-/// `progress` is called with a one-line description before each cell runs
-/// (the `repro` binary points it at stderr; tests pass a no-op).
+/// Workers claim cells from a shared index, but every result lands at
+/// its matrix position, so the report's cell order — and every
+/// deterministic field in it — is independent of `jobs`. `jobs = 1`
+/// runs the matrix inline on the calling thread.
+///
+/// `progress` is called with a one-line description before each cell
+/// runs (the `repro` binary points it at stderr; tests pass a no-op).
+/// With `jobs > 1` the lines interleave in claim order.
 #[must_use]
-pub fn run_bench(mode: BenchMode, progress: &dyn Fn(&str)) -> BenchReport {
+pub fn run_bench(mode: BenchMode, jobs: usize, progress: &(dyn Fn(&str) + Sync)) -> BenchReport {
     let cells_spec = mode.cells();
     let total = cells_spec.len();
+    let jobs = jobs.max(1).min(total.max(1));
     let t0 = WallInstant::now();
-    let mut cells = Vec::with_capacity(total);
-    for (i, (scheme, method, theta)) in cells_spec.into_iter().enumerate() {
+
+    let announce = |i: usize, scheme: SchemeKind, method: SchedulingMethod, theta: f64| {
         progress(&format!(
             "bench [{}/{}] {} / {} / θ = {theta}",
             i + 1,
@@ -264,8 +278,44 @@ pub fn run_bench(mode: BenchMode, progress: &dyn Fn(&str)) -> BenchReport {
             scheme_label(scheme),
             method.label(),
         ));
-        cells.push(run_cell(mode, scheme, method, theta));
-    }
+    };
+
+    let cells: Vec<CellResult> = if jobs == 1 {
+        cells_spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(scheme, method, theta))| {
+                announce(i, scheme, method, theta);
+                run_cell(mode, scheme, method, theta)
+            })
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let (scheme, method, theta) = cells_spec[i];
+                    announce(i, scheme, method, theta);
+                    let result = run_cell(mode, scheme, method, theta);
+                    *slots[i].lock().expect("bench worker poisoned a slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("bench worker poisoned a slot")
+                    .expect("every cell index was claimed and filled")
+            })
+            .collect()
+    };
+
     BenchReport {
         mode,
         seeds: mode.seeds(),
@@ -292,7 +342,7 @@ mod tests {
 
     #[test]
     fn smoke_bench_reports_every_instrumented_phase() {
-        let report = run_bench(BenchMode::Smoke, &|_| {});
+        let report = run_bench(BenchMode::Smoke, 1, &|_| {});
         assert_eq!(report.cells.len(), 2);
         for cell in &report.cells {
             assert!(cell.cycles > 0);
@@ -315,5 +365,31 @@ mod tests {
         assert!(json.contains("\"mode\":\"smoke\""));
         assert!(json.contains("\"cycles_per_sec\""));
         assert!(json.contains(PHASE_CYCLE_PLAN));
+    }
+
+    /// The acceptance bar for `--jobs`: every deterministic field of the
+    /// report is identical whatever the worker count — only wall-clock
+    /// (and derived cycles/sec) may differ.
+    #[test]
+    fn parallel_bench_matches_sequential_bit_for_bit() {
+        let seq = run_bench(BenchMode::Smoke, 1, &|_| {});
+        let par = run_bench(BenchMode::Smoke, 2, &|_| {});
+        assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.theta.to_bits(), b.theta.to_bits());
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.services, b.services);
+            assert_eq!(a.admitted, b.admitted);
+            assert_eq!(a.deferred, b.deferred);
+            assert_eq!(a.rejected, b.rejected);
+            assert_eq!(a.underflows, b.underflows);
+            assert_eq!(
+                a.peak_memory_mib.to_bits(),
+                b.peak_memory_mib.to_bits(),
+                "peak memory must be bit-identical across job counts"
+            );
+        }
     }
 }

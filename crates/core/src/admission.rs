@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use vod_obs::{Event, EventKind, Obs};
 use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VodError};
 
+use crate::aggregate::MinMultiset;
 use crate::estimator::ArrivalLog;
 use crate::params::SystemParams;
 use crate::table::SizeTable;
@@ -46,12 +47,22 @@ struct Record {
 }
 
 /// Runtime state of the dynamic buffer allocation scheme for one disk.
+///
+/// The two admission-time minima — Assumption 1's `min_i(n_i + k_i)` and
+/// Assumption 2's `min_i(k_i)` — are maintained incrementally in
+/// [`MinMultiset`]s updated on every allocation and departure, so both
+/// queries are O(1) instead of a scan over the record table (the paper's
+/// Fig. 5 runs `Admission_Control` on *every* arrival).
 #[derive(Clone, Debug)]
 pub struct AdmissionController {
     params: SystemParams,
     table: SizeTable,
     log: ArrivalLog,
     records: HashMap<RequestId, Record>,
+    /// Multiset of `n_i + k_i` over records with an allocation.
+    bound_agg: MinMultiset,
+    /// Multiset of `k_i` over records with an allocation.
+    k_agg: MinMultiset,
     deferrals: u64,
     obs: Obs,
 }
@@ -90,6 +101,8 @@ impl AdmissionController {
             table,
             log: ArrivalLog::new(t_log),
             records: HashMap::new(),
+            bound_agg: MinMultiset::new(),
+            k_agg: MinMultiset::new(),
             deferrals: 0,
             obs: Obs::null(),
         })
@@ -128,9 +141,10 @@ impl AdmissionController {
 
     /// Procedure `Admission_Control` of Fig. 5: may one more stream be
     /// admitted *now* without violating Assumption 1 for any in-service
-    /// buffer (and without exceeding the disk bound `N`)?
+    /// buffer (and without exceeding the disk bound `N`)? (`&mut` only to
+    /// advance the min-aggregate cursor; the decision reads no clock.)
     #[must_use]
-    pub fn can_admit(&self) -> bool {
+    pub fn can_admit(&mut self) -> bool {
         let n = self.records.len();
         if n >= self.params.max_requests() {
             return false;
@@ -191,7 +205,12 @@ impl AdmissionController {
             .records
             .get_mut(&id)
             .expect("checked contains_key above");
-        record.last_allocation = Some((n_c, k_c));
+        if let Some((n_old, k_old)) = record.last_allocation.replace((n_c, k_c)) {
+            self.bound_agg.remove(n_old + k_old);
+            self.k_agg.remove(k_old);
+        }
+        self.bound_agg.insert(n_c + k_c);
+        self.k_agg.insert(k_c);
         Ok(Allocation {
             n: n_c,
             k: k_c,
@@ -206,14 +225,19 @@ impl AdmissionController {
     pub fn estimate_k(&mut self, now: Instant, period: Seconds) -> (usize, usize) {
         let k_log = self.log.k_log(now, period);
         let alpha = self.params.alpha as usize;
-        // Assumption 2: k_c ≤ k_i + α for every in-service stream.
-        let k_cap = self
-            .records
-            .values()
-            .filter_map(|r| r.last_allocation)
-            .map(|(_, k_i)| k_i + alpha)
-            .min()
-            .unwrap_or(usize::MAX);
+        // Assumption 2: k_c ≤ k_i + α for every in-service stream. The
+        // minimum over k_i is maintained incrementally (O(1) here).
+        let k_cap = self.k_agg.min().map_or(usize::MAX, |k| k + alpha);
+        debug_assert_eq!(
+            k_cap,
+            self.records
+                .values()
+                .filter_map(|r| r.last_allocation)
+                .map(|(_, k_i)| k_i + alpha)
+                .min()
+                .unwrap_or(usize::MAX),
+            "incremental Assumption-2 clamp diverged from the record scan"
+        );
         let k_c = (k_log + alpha).min(k_cap).min(self.params.max_requests());
         if k_c < k_log + alpha {
             self.obs
@@ -240,10 +264,15 @@ impl AdmissionController {
     /// Returns [`VodError::UnknownRequest`] when the stream is not in
     /// service.
     pub fn depart(&mut self, id: RequestId) -> Result<(), VodError> {
-        self.records
+        let record = self
+            .records
             .remove(&id)
-            .map(|_| ())
-            .ok_or(VodError::UnknownRequest(id))
+            .ok_or(VodError::UnknownRequest(id))?;
+        if let Some((n_i, k_i)) = record.last_allocation {
+            self.bound_agg.remove(n_i + k_i);
+            self.k_agg.remove(k_i);
+        }
+        Ok(())
     }
 
     /// Number of admission attempts deferred so far.
@@ -255,22 +284,31 @@ impl AdmissionController {
     /// The largest stream count Assumption 1 currently allows:
     /// `min(min_i(n_i + k_i), N)`. The server may admit up to
     /// `admission_bound() − active_count()` more streams before any
-    /// in-service buffer's sizing assumptions could be violated.
+    /// in-service buffer's sizing assumptions could be violated. (`&mut`
+    /// only to advance the min-aggregate cursor.)
     #[must_use]
-    pub fn admission_bound(&self) -> usize {
-        self.assumption1_bound().min(self.params.max_requests())
+    pub fn admission_bound(&mut self) -> usize {
+        let n = self.params.max_requests();
+        self.assumption1_bound().min(n)
     }
 
     /// `min_i (n_i + k_i)` over in-service streams with an allocation;
     /// `usize::MAX` when none constrain (Assumption 1 then only leaves the
-    /// disk bound `N`).
-    fn assumption1_bound(&self) -> usize {
-        self.records
-            .values()
-            .filter_map(|r| r.last_allocation)
-            .map(|(n_i, k_i)| n_i + k_i)
-            .min()
-            .unwrap_or(usize::MAX)
+    /// disk bound `N`). O(1): the minimum is maintained incrementally on
+    /// allocate/depart instead of scanning the record table per arrival.
+    fn assumption1_bound(&mut self) -> usize {
+        let bound = self.bound_agg.min().unwrap_or(usize::MAX);
+        debug_assert_eq!(
+            bound,
+            self.records
+                .values()
+                .filter_map(|r| r.last_allocation)
+                .map(|(n_i, k_i)| n_i + k_i)
+                .min()
+                .unwrap_or(usize::MAX),
+            "incremental Assumption-1 bound diverged from the record scan"
+        );
+        bound
     }
 }
 

@@ -1,0 +1,168 @@
+//! Incrementally maintained min-aggregates for the admission hot path.
+//!
+//! Procedure `Admission_Control` (Fig. 5) needs `min_i(n_i + k_i)` over
+//! every in-service allocation record at **every arrival**, and Step 4
+//! needs `min_i(k_i)` (the Assumption-2 clamp) at **every allocation**.
+//! Scanning the record table makes both O(n) per event — the dominant
+//! per-event cost at high load. Both aggregates range over a tiny value
+//! domain (`n_i, k_i ≤ N`, so `n_i + k_i ≤ 2N ≈ 160` for the paper's
+//! disk), which makes a counting multiset the natural structure:
+//!
+//! * `insert` / `remove` — O(1),
+//! * `min` — O(1) amortized: a cursor remembers the last minimum and only
+//!   walks forward past emptied buckets; every bucket position the cursor
+//!   skips was paid for by the removal that emptied it.
+//!
+//! [`MinMultiset`] grows its bucket table on demand, so callers never
+//! need to know the domain bound up front.
+
+/// A counting multiset over small `usize` keys with O(1) amortized `min`.
+#[derive(Clone, Debug, Default)]
+pub struct MinMultiset {
+    /// `counts[v]` = multiplicity of value `v`.
+    counts: Vec<u32>,
+    /// Total elements across all buckets.
+    len: usize,
+    /// Lower bound on the minimum occupied bucket: no bucket below
+    /// `cursor` is occupied. Advanced lazily by [`MinMultiset::min`].
+    cursor: usize,
+}
+
+impl MinMultiset {
+    /// An empty multiset.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements (counting multiplicity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the multiset holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds one occurrence of `value`.
+    pub fn insert(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.len += 1;
+        if value < self.cursor {
+            self.cursor = value;
+        }
+    }
+
+    /// Removes one occurrence of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not present — the caller (the admission
+    /// controller) inserts and removes symmetrically, so an absent value
+    /// is a bookkeeping bug worth failing loudly on.
+    pub fn remove(&mut self, value: usize) {
+        assert!(
+            value < self.counts.len() && self.counts[value] > 0,
+            "MinMultiset::remove({value}): value not present"
+        );
+        self.counts[value] -= 1;
+        self.len -= 1;
+    }
+
+    /// The smallest value present, or `None` when empty. Amortized O(1):
+    /// the cursor only ever moves forward (insertions below it move it
+    /// back, but each such move was paid for by that insertion).
+    pub fn min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            // Nothing left: park the cursor at the origin so the next
+            // insertion starts fresh.
+            self.cursor = 0;
+            return None;
+        }
+        while self.counts[self.cursor] == 0 {
+            self.cursor += 1;
+        }
+        Some(self.cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_min() {
+        let mut m = MinMultiset::new();
+        assert!(m.is_empty());
+        assert_eq!(m.min(), None);
+    }
+
+    #[test]
+    fn tracks_min_through_inserts_and_removes() {
+        let mut m = MinMultiset::new();
+        m.insert(5);
+        m.insert(3);
+        m.insert(7);
+        assert_eq!(m.min(), Some(3));
+        m.remove(3);
+        assert_eq!(m.min(), Some(5));
+        m.insert(1);
+        assert_eq!(m.min(), Some(1));
+        m.remove(1);
+        m.remove(5);
+        assert_eq!(m.min(), Some(7));
+        m.remove(7);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn duplicates_count_multiplicity() {
+        let mut m = MinMultiset::new();
+        m.insert(4);
+        m.insert(4);
+        m.remove(4);
+        assert_eq!(m.min(), Some(4));
+        m.remove(4);
+        assert_eq!(m.min(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn removing_absent_value_panics() {
+        let mut m = MinMultiset::new();
+        m.insert(2);
+        m.remove(3);
+    }
+
+    #[test]
+    fn matches_naive_min_over_random_ops() {
+        // Deterministic mixed workload compared against a shadow Vec.
+        let mut m = MinMultiset::new();
+        let mut shadow: Vec<usize> = Vec::new();
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..10_000 {
+            if shadow.is_empty() || next() % 3 != 0 {
+                let v = next() % 160;
+                m.insert(v);
+                shadow.push(v);
+            } else {
+                let idx = next() % shadow.len();
+                let v = shadow.swap_remove(idx);
+                m.remove(v);
+            }
+            assert_eq!(m.min(), shadow.iter().min().copied());
+            assert_eq!(m.len(), shadow.len());
+        }
+    }
+}

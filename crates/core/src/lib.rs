@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod aggregate;
 pub mod closed_form;
 pub mod estimator;
 pub mod memory;
@@ -68,6 +69,7 @@ pub mod static_scheme;
 pub mod table;
 
 pub use admission::{AdmissionController, Allocation};
+pub use aggregate::MinMultiset;
 pub use estimator::ArrivalLog;
 pub use multirate::{MultiRateSystem, RateAdaptation};
 pub use params::SystemParams;

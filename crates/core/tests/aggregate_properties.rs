@@ -1,0 +1,113 @@
+//! Property tests for the incremental admission aggregates: the O(1)
+//! counting-multiset minima must agree with a naive full scan over the
+//! same history, for arbitrary interleavings of inserts, removes,
+//! allocations, and departures.
+
+use proptest::prelude::*;
+use vod_core::{AdmissionController, MinMultiset, SystemParams};
+use vod_sched::SchedulingMethod;
+use vod_types::{Instant, RequestId, Seconds};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `MinMultiset` vs the obvious shadow model (a bag of values whose
+    /// minimum is recomputed by scanning): identical `min`/`len` after
+    /// every operation, including duplicate values and re-inserts after
+    /// removal.
+    #[test]
+    fn multiset_min_matches_naive_scan(
+        ops in prop::collection::vec((0u16..512, 0u8..255, 0u8..255), 1..300)
+    ) {
+        let mut agg = MinMultiset::new();
+        let mut shadow: Vec<usize> = Vec::new();
+        for (value, select, pick) in ops {
+            if shadow.is_empty() || select < 170 {
+                agg.insert(usize::from(value));
+                shadow.push(usize::from(value));
+            } else {
+                let victim = shadow.swap_remove(usize::from(pick) % shadow.len());
+                agg.remove(victim);
+            }
+            prop_assert_eq!(agg.len(), shadow.len());
+            prop_assert_eq!(agg.min(), shadow.iter().copied().min());
+        }
+    }
+
+    /// The controller's Assumption-1 admission bound vs a shadow rebuilt
+    /// from the `Allocation`s it handed out: `min_i(n_i + k_i)` capped at
+    /// `N`, recomputed by scanning the shadow after every step. (In debug
+    /// builds the controller additionally cross-checks its internal
+    /// aggregates against its own record table on every read.) The
+    /// Assumption-2 clamp is visible through `estimate_k`: the estimate
+    /// never exceeds the smallest outstanding `k_i` plus `α`.
+    #[test]
+    fn admission_bound_matches_shadow_scan(
+        ops in prop::collection::vec((0u8..255, 0u8..255), 1..250)
+    ) {
+        let params = SystemParams::paper_defaults(SchedulingMethod::RoundRobin);
+        let big_n = params.max_requests();
+        let alpha = params.alpha as usize;
+        let mut ctl =
+            AdmissionController::new(params, Seconds::from_minutes(40.0)).expect("valid");
+        let period = Seconds::from_secs(2.0);
+        let mut t = Instant::ZERO;
+        let mut next_id = 0u64;
+        let mut active: Vec<RequestId> = Vec::new();
+        let mut allocs: std::collections::HashMap<RequestId, (usize, usize)> =
+            std::collections::HashMap::new();
+
+        for (select, pick) in ops {
+            match select % 5 {
+                // Arrive + admit when the controller allows it.
+                0 | 1 => {
+                    ctl.note_arrival(t);
+                    if ctl.can_admit() {
+                        let id = RequestId::new(next_id);
+                        next_id += 1;
+                        ctl.admit(id).expect("can_admit() said yes");
+                        active.push(id);
+                    }
+                }
+                // Allocate for some active stream; record what it got.
+                2 | 3 => {
+                    if !active.is_empty() {
+                        let id = active[usize::from(pick) % active.len()];
+                        let alloc = ctl.allocate(id, t, period).expect("active");
+                        allocs.insert(id, (alloc.n, alloc.k));
+                    }
+                }
+                // Depart some active stream.
+                _ => {
+                    if !active.is_empty() {
+                        let id = active.swap_remove(usize::from(pick) % active.len());
+                        ctl.depart(id).expect("active");
+                        allocs.remove(&id);
+                    }
+                }
+            }
+            t += Seconds::from_millis(250.0);
+
+            let naive_a1 = allocs
+                .values()
+                .map(|&(n_i, k_i)| n_i + k_i)
+                .min()
+                .unwrap_or(usize::MAX);
+            prop_assert_eq!(
+                ctl.admission_bound(),
+                naive_a1.min(big_n),
+                "incremental bound != naive scan over handed-out allocations"
+            );
+            if let Some(min_k) = allocs.values().map(|&(_, k_i)| k_i).min() {
+                let (k_c, _) = ctl.estimate_k(t, period);
+                prop_assert!(
+                    k_c <= min_k + alpha,
+                    "Assumption-2 clamp violated: k_c {} > min k_i {} + α {}",
+                    k_c,
+                    min_k,
+                    alpha
+                );
+            }
+        }
+    }
+}

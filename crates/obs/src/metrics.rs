@@ -482,7 +482,6 @@ impl Histo {
 
     /// Starts a scoped timer that records elapsed seconds here on
     /// drop. Detached handles skip the clock read entirely.
-    #[must_use]
     pub fn start_timer(&self) -> Timed {
         Timed::start(self)
     }

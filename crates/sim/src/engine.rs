@@ -20,7 +20,7 @@
 //! instrumentation is detached and costs a single branch per site.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +37,7 @@ use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VideoId};
 use vod_workload::Arrival;
 
 use crate::metrics::{AuditRecord, DiskRunStats, IlSample};
+use crate::slab::{Slab, SlotId};
 use crate::stream::Stream;
 
 /// Configuration of one engine run.
@@ -201,11 +202,11 @@ pub struct DiskEngine {
     sizer: Sizer,
     scheme: SchemeState,
     t: Instant,
-    streams: HashMap<RequestId, Stream>,
+    streams: Slab<Stream>,
     /// Admission order of active streams (the Round-Robin base order).
-    base_order: Vec<RequestId>,
+    base_order: Vec<SlotId>,
     /// The current cycle's service order and position.
-    order: Vec<RequestId>,
+    order: Vec<SlotId>,
     cursor: usize,
     cycle_start: Instant,
     cycle_active: bool,
@@ -217,7 +218,18 @@ pub struct DiskEngine {
     last_period: Option<Seconds>,
     pending: VecDeque<Pending>,
     /// Departure times of viewing streams, keyed for eager processing.
-    departures: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// Ordered by `(at, raw id)` exactly as before the slab refactor — the
+    /// slot only rides along; raw ids are unique, so it never decides.
+    departures: BinaryHeap<Reverse<(Instant, u64, SlotId)>>,
+    /// Lazy-deletion min-heap over stream due times. `service` pushes a
+    /// fresh entry after every stream-state change, so the newest entry
+    /// per stream recomputes bit-exactly; stale entries (departed stream,
+    /// superseded due) are discarded when they surface in
+    /// [`Self::earliest_due`].
+    due_heap: BinaryHeap<Reverse<(Instant, u64, SlotId)>>,
+    /// Reused scratch for [`Self::sort_by_position`]: avoids a key-map
+    /// allocation per cycle.
+    sort_scratch: Vec<(f64, SlotId)>,
     mem: MemTracker,
     conc_events: Vec<(Instant, i32)>,
     stats: DiskRunStats,
@@ -279,7 +291,7 @@ impl DiskEngine {
             sizer,
             scheme,
             t: Instant::ZERO,
-            streams: HashMap::new(),
+            streams: Slab::new(),
             base_order: Vec::new(),
             order: Vec::new(),
             cursor: 0,
@@ -290,6 +302,8 @@ impl DiskEngine {
             last_period: None,
             pending: VecDeque::new(),
             departures: BinaryHeap::new(),
+            due_heap: BinaryHeap::new(),
+            sort_scratch: Vec::new(),
             mem: MemTracker::default(),
             conc_events: Vec::new(),
             stats: DiskRunStats::default(),
@@ -455,13 +469,14 @@ impl DiskEngine {
                         continue;
                     }
                 }
+                let due_min = self.earliest_due();
                 self.obs
                     .emit_with(EventKind::CyclePlanned, || Event::CyclePlanned {
                         at: self.t,
                         start,
                         planned: plan.start,
                         n: self.streams.len(),
-                        due_min: self.earliest_due(),
+                        due_min,
                         insertion_budget: plan.insertion_budget,
                     });
                 self.t = start;
@@ -494,18 +509,18 @@ impl DiskEngine {
                 self.try_admissions();
             }
 
-            let id = self.order[self.cursor];
+            let slot = self.order[self.cursor];
             self.cursor += 1;
-            if !self.streams.contains_key(&id) {
+            let Some(s) = self.streams.get(slot) else {
                 continue; // departed earlier in the cycle
-            }
-            if let Some(d) = self.streams[&id].departs_at() {
+            };
+            if let Some(d) = s.departs_at() {
                 if d <= self.t {
-                    self.depart(id, d);
+                    self.depart(slot, d);
                     continue;
                 }
             }
-            self.service(id);
+            self.service(slot);
         }
 
         self.finalize()
@@ -700,7 +715,7 @@ impl DiskEngine {
         let mut stream = Stream::new(p.id, p.video, p.arrived, p.viewing);
         stream.n_at_arrival = p.n_at_arrival;
         stream.eligible_at = p.eligible_at.max(self.t);
-        self.streams.insert(p.id, stream);
+        let slot = self.streams.insert(stream);
         self.stats.admitted += 1;
         self.m.admitted.inc();
         self.conc_events.push((self.t, 1));
@@ -727,10 +742,10 @@ impl DiskEngine {
                         .iter()
                         .position(|&x| x == anchor)
                         .unwrap_or(self.base_order.len());
-                    self.base_order.insert(ring_pos, p.id);
-                    self.order.insert(self.cursor, p.id);
+                    self.base_order.insert(ring_pos, slot);
+                    self.order.insert(self.cursor, slot);
                 } else {
-                    self.base_order.push(p.id);
+                    self.base_order.push(slot);
                 }
             }
             AdmissionTiming::NextGroup => {
@@ -746,26 +761,27 @@ impl DiskEngine {
                     // Membership order mirrors the cycle's chunk layout,
                     // so the same index keeps groups consistent.
                     let base_at = at.min(self.base_order.len());
-                    self.base_order.insert(base_at, p.id);
-                    self.order.insert(at, p.id);
+                    self.base_order.insert(base_at, slot);
+                    self.order.insert(at, slot);
                 } else {
-                    self.base_order.push(p.id);
+                    self.base_order.push(slot);
                 }
             }
             AdmissionTiming::NextPeriod => {
-                self.base_order.push(p.id);
+                self.base_order.push(slot);
             }
         }
     }
 
     // ---------- service ----------
 
-    fn service(&mut self, id: RequestId) {
+    fn service(&mut self, slot: SlotId) {
         let _t = self.m.service.start_timer();
         let cr = self.cfg.params.cr();
         let crf = cr.as_f64();
         let n_active = self.streams.len();
         let now = self.t;
+        let id = self.streams[slot].id;
 
         // Allocation: compute (n_c, k_c) per scheme.
         let period = self.period_estimate();
@@ -815,7 +831,7 @@ impl DiskEngine {
                 .method
                 .worst_disk_latency(&self.cfg.params.disk, n_active),
             Some(disk) => {
-                let stream = &self.streams[&id];
+                let stream = &self.streams[slot];
                 Self::ensure_placed(
                     disk,
                     stream.video,
@@ -835,7 +851,7 @@ impl DiskEngine {
         };
         let t_data = now + dl;
 
-        let stream = self.streams.get_mut(&id).expect("caller checked presence");
+        let stream = self.streams.get_mut(slot).expect("caller checked presence");
         let started = stream.viewing_started();
         let old_time = stream.level_at_time();
         let upd = stream.advance_to(t_data, cr);
@@ -874,6 +890,9 @@ impl DiskEngine {
             // refilled every cycle, as the paper's service model requires —
             // the usage-period budgets are equality-tight, so a deferred
             // top-up would push later refills past their dues.
+            // `advance_to` re-based (level, level_time), so the stream's
+            // due recomputes with different bits: re-arm the due heap.
+            self.note_due(slot);
             return;
         }
 
@@ -893,7 +912,7 @@ impl DiskEngine {
                     size,
                 });
             self.departures
-                .push(Reverse((t_data + stream.viewing, id.raw())));
+                .push(Reverse((t_data + stream.viewing, id.raw(), slot)));
             self.mem.on_first_fill(t_data);
             // Initial latency ends when the first data reaches memory —
             // the end of the seek, as in Eq. 2's derivation.
@@ -951,6 +970,20 @@ impl DiskEngine {
         self.m.services.inc();
         self.cycle_services += 1;
         self.t = t_done;
+        self.note_due(slot);
+    }
+
+    /// Pushes the stream's current due time onto the lazy-deletion heap.
+    /// Called after every stream-state change that leaves the stream live
+    /// (both `service` exits), so the heap always holds an entry whose
+    /// stored due recomputes bit-exactly from the stream's current state.
+    fn note_due(&mut self, slot: SlotId) {
+        let cr = self.cfg.params.cr();
+        if let Some(s) = self.streams.get(slot) {
+            if let Some(due) = s.due_at(cr) {
+                self.due_heap.push(Reverse((due, s.id.raw(), slot)));
+            }
+        }
     }
 
     // ---------- cycle planning ----------
@@ -974,12 +1007,14 @@ impl DiskEngine {
         match self.cfg.params.method {
             SchedulingMethod::RoundRobin => {
                 // `base_order` is the ring itself.
-                self.base_order.retain(|id| self.streams.contains_key(id));
+                let streams = &self.streams;
+                self.base_order.retain(|&s| streams.contains(s));
                 self.order.clear();
                 self.order.extend(self.base_order.iter().copied());
             }
             SchedulingMethod::Sweep => {
-                self.base_order.retain(|id| self.streams.contains_key(id));
+                let streams = &self.streams;
+                self.base_order.retain(|&s| streams.contains(s));
                 self.order.clear();
                 self.order.extend(self.base_order.iter().copied());
                 self.sort_by_position(0, self.order.len());
@@ -987,7 +1022,8 @@ impl DiskEngine {
             SchedulingMethod::Gss { .. } => {
                 // Groups are consecutive chunks of the membership order;
                 // each chunk is swept internally.
-                self.base_order.retain(|id| self.streams.contains_key(id));
+                let streams = &self.streams;
+                self.base_order.retain(|&s| streams.contains(s));
                 self.order.clear();
                 self.order.extend(self.base_order.iter().copied());
                 let g = self
@@ -1007,23 +1043,37 @@ impl DiskEngine {
         self.cursor = self.order.len(); // caller sets 0 when the cycle starts
     }
 
+    /// Re-sorts `order[from..to]` by play position without allocating:
+    /// keys are computed once into a reused scratch vector, an O(n)
+    /// already-sorted check short-circuits the common case (all streams
+    /// advance at the same `CR`, so ranks are stable across consecutive
+    /// cycles), and the fallback is a *stable* sort — equal keys keep
+    /// their membership order, exactly as the old key-map sort did.
+    /// Keys are never NaN (clamped fractions of non-negative values), so
+    /// `total_cmp` agrees with the old `partial_cmp` everywhere it was
+    /// defined while making the comparator a real total order.
     fn sort_by_position(&mut self, from: usize, to: usize) {
-        let keys: HashMap<RequestId, f64> = self.order[from..to]
-            .iter()
-            .map(|id| (*id, self.position_key(*id)))
-            .collect();
-        self.order[from..to].sort_by(|a, b| {
-            keys[a]
-                .partial_cmp(&keys[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        let mut scratch = std::mem::take(&mut self.sort_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.order[from..to]
+                .iter()
+                .map(|&slot| (self.position_key(slot), slot)),
+        );
+        if !scratch.windows(2).all(|w| w[0].0 <= w[1].0) {
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (dst, &(_, slot)) in self.order[from..to].iter_mut().zip(scratch.iter()) {
+                *dst = slot;
+            }
+        }
+        self.sort_scratch = scratch;
     }
 
     /// A monotone proxy for the on-disk cylinder of the stream's play
     /// point: videos are laid out contiguously in id order, and the play
     /// point advances with consumption.
-    fn position_key(&self, id: RequestId) -> f64 {
-        let s = &self.streams[&id];
+    fn position_key(&self, slot: SlotId) -> f64 {
+        let s = &self.streams[slot];
         let video_size = self.cfg.params.cr() * self.cfg.video_length;
         let frac = (s.consumed / video_size).clamp(0.0, 1.0);
         s.video.raw() as f64 + frac
@@ -1059,7 +1109,7 @@ impl DiskEngine {
     /// full-load period, i.e. the Fixed-Stretch cadence); the naive
     /// scheme's is only its own estimate, which is precisely the Fig. 3
     /// flaw — when the load grows faster, its streams underflow.
-    fn plan_cycle_start(&self) -> Option<CyclePlan> {
+    fn plan_cycle_start(&mut self) -> Option<CyclePlan> {
         let cr = self.cfg.params.cr();
         let tr = self.cfg.params.tr();
         let n = self.streams.len();
@@ -1074,8 +1124,8 @@ impl DiskEngine {
         let mut dues: Vec<Option<Instant>> = Vec::with_capacity(self.order.len());
         let mut earliest: Option<Instant> = None;
         let mut eligible: Option<Instant> = None;
-        for id in &self.order {
-            let s = &self.streams[id];
+        for &slot in &self.order {
+            let s = &self.streams[slot];
             if !s.viewing_started() {
                 // An admitted newcomer (its boundary already passed):
                 // service it right away.
@@ -1106,7 +1156,7 @@ impl DiskEngine {
             });
         };
 
-        let (headroom, size_bound) = match (&self.scheme, self.cfg.scheme) {
+        let (headroom, size_bound) = match (&mut self.scheme, self.cfg.scheme) {
             (SchemeState::Dynamic(ctl), _) => {
                 let h = ctl.admission_bound().saturating_sub(n);
                 let k_next = (self.last_k + alpha).min(big_n);
@@ -1143,9 +1193,8 @@ impl DiskEngine {
             // `due − size/CR` — and should start no later than one slot
             // before the due. The max of the two is this stream's
             // earliest *useful* service time.
-            let id = self.order[idx];
             let sz = {
-                let s_ref = &self.streams[&id];
+                let s_ref = &self.streams[self.order[idx]];
                 let k = self.last_k.max(self.cfg.params.alpha as usize);
                 match self.cfg.scheme {
                     SchemeKind::Static | SchemeKind::StaticMaxUse => self.sizer.max_size(),
@@ -1206,33 +1255,58 @@ impl DiskEngine {
     // ---------- departures ----------
 
     fn earliest_departure(&self) -> Option<Instant> {
-        self.departures.peek().map(|Reverse((at, _))| *at)
+        self.departures.peek().map(|Reverse((at, _, _))| *at)
     }
 
     /// The earliest time any stream's buffer drains to zero.
-    fn earliest_due(&self) -> Option<Instant> {
+    ///
+    /// Lazy-deletion query: the stream's state only changes in `service`
+    /// (which re-pushes on both exits) and `depart` (which removes it),
+    /// so a heap entry is current iff its stored due recomputes
+    /// bit-exactly from the stream it names. Anything else — a departed
+    /// stream's entry, or one superseded by a later fill — is popped
+    /// here; entries are pushed at most once per service, so the pops
+    /// amortize to O(log n) per service against the old O(n) full scan.
+    fn earliest_due(&mut self) -> Option<Instant> {
         let cr = self.cfg.params.cr();
-        self.streams.values().filter_map(|s| s.due_at(cr)).min()
+        let result = loop {
+            let Some(&Reverse((due, _, slot))) = self.due_heap.peek() else {
+                break None;
+            };
+            match self.streams.get(slot) {
+                Some(s) if s.due_at(cr) == Some(due) => break Some(due),
+                _ => {
+                    self.due_heap.pop();
+                }
+            }
+        };
+        #[cfg(debug_assertions)]
+        {
+            let naive = self.streams.values().filter_map(|s| s.due_at(cr)).min();
+            debug_assert_eq!(result, naive, "due heap diverged from full scan");
+        }
+        result
     }
 
     fn process_due_departures(&mut self) {
-        while let Some(&Reverse((at, raw))) = self.departures.peek() {
+        while let Some(&Reverse((at, _, slot))) = self.departures.peek() {
             if at > self.t {
                 break;
             }
             self.departures.pop();
-            let id = RequestId::new(raw);
             // Entries outlive their stream only if it already departed
-            // through another path; `depart` is a no-op then.
-            self.depart(id, at);
+            // through another path; `depart` is a no-op then (the slab
+            // generation check makes a stale slot miss).
+            self.depart(slot, at);
         }
     }
 
-    fn depart(&mut self, id: RequestId, at: Instant) {
+    fn depart(&mut self, slot: SlotId, at: Instant) {
         let cr = self.cfg.params.cr();
-        let Some(mut s) = self.streams.remove(&id) else {
+        let Some(mut s) = self.streams.remove(slot) else {
             return;
         };
+        let id = s.id;
         let started = s.viewing_started();
         let old_time = s.level_at_time();
         let upd = s.advance_to(at, cr);

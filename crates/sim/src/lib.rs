@@ -43,6 +43,7 @@ pub mod capacity;
 pub mod engine;
 pub mod metrics;
 pub mod runner;
+pub mod slab;
 pub mod stream;
 
 pub use audit::{evaluate_audits, AuditOutcome};
@@ -53,3 +54,4 @@ pub use runner::{
     run_latency_experiment, run_latency_experiment_observed, run_multi_disk, LatencyExperiment,
     LatencyResult, ObservedLatencyResult, RunReport,
 };
+pub use slab::{Slab, SlotId};

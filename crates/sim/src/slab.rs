@@ -1,0 +1,229 @@
+//! A generational slab: the engine's stream store.
+//!
+//! The hot loop touches per-stream state on every service, departure, and
+//! order rebuild. Keying those accesses by `RequestId` through a `HashMap`
+//! pays a SipHash per lookup; a slab keyed by a dense [`SlotId`] makes
+//! every access a bounds-checked array index. Slots are recycled through a
+//! free list, so memory is O(max concurrent streams), not O(total
+//! requests). Each slot carries a generation incremented on removal, so a
+//! stale id held by a lazily-cleaned structure (the departure and due
+//! heaps) can never alias a recycled slot.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A generational index into a [`Slab`].
+///
+/// Ordering is (index, generation) lexicographic — arbitrary but total,
+/// so ids can ride along in heap entries as tie-breakers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId {
+    index: u32,
+    gen: u32,
+}
+
+impl SlotId {
+    /// The slot's position in the slab (stable while occupied).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Debug for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SlotId({}v{})", self.index, self.gen)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Entry<T> {
+    Occupied { gen: u32, value: T },
+    Vacant { gen: u32 },
+}
+
+/// A slab allocator with generational indices.
+#[derive(Clone, Debug)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, reusing a vacant slot when one exists.
+    pub fn insert(&mut self, value: T) -> SlotId {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.entries[index as usize];
+            let Entry::Vacant { gen } = *slot else {
+                unreachable!("free list points at an occupied slot");
+            };
+            *slot = Entry::Occupied { gen, value };
+            return SlotId { index, gen };
+        }
+        let index = u32::try_from(self.entries.len()).expect("slab capacity exceeds u32");
+        self.entries.push(Entry::Occupied { gen: 0, value });
+        SlotId { index, gen: 0 }
+    }
+
+    /// Removes and returns the value at `id`; `None` when the id is stale
+    /// (already removed, possibly recycled).
+    pub fn remove(&mut self, id: SlotId) -> Option<T> {
+        let slot = self.entries.get_mut(id.index())?;
+        match slot {
+            Entry::Occupied { gen, .. } if *gen == id.gen => {
+                let next_gen = id.gen.wrapping_add(1);
+                let Entry::Occupied { value, .. } =
+                    std::mem::replace(slot, Entry::Vacant { gen: next_gen })
+                else {
+                    unreachable!("matched Occupied above");
+                };
+                self.free.push(id.index);
+                self.len -= 1;
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value at `id`, unless the id is stale.
+    #[must_use]
+    pub fn get(&self, id: SlotId) -> Option<&T> {
+        match self.entries.get(id.index()) {
+            Some(Entry::Occupied { gen, value }) if *gen == id.gen => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value at `id`, unless the id is stale.
+    pub fn get_mut(&mut self, id: SlotId) -> Option<&mut T> {
+        match self.entries.get_mut(id.index()) {
+            Some(Entry::Occupied { gen, value }) if *gen == id.gen => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether `id` names a live slot.
+    #[must_use]
+    pub fn contains(&self, id: SlotId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterates occupied slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied { gen, value } => Some((
+                    SlotId {
+                        index: i as u32,
+                        gen: *gen,
+                    },
+                    value,
+                )),
+                Entry::Vacant { .. } => None,
+            })
+    }
+
+    /// Iterates occupied values in index order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<T> Index<SlotId> for Slab<T> {
+    type Output = T;
+    fn index(&self, id: SlotId) -> &T {
+        self.get(id).expect("stale SlotId")
+    }
+}
+
+impl<T> IndexMut<SlotId> for Slab<T> {
+    fn index_mut(&mut self, id: SlotId) -> &mut T {
+        self.get_mut(id).expect("stale SlotId")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab[a], "a");
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(a), None);
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+    }
+
+    #[test]
+    fn stale_ids_never_alias_recycled_slots() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2); // reuses the slot, new generation
+        assert_eq!(b.index(), a.index());
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a), None, "stale id must miss");
+        assert_eq!(slab.remove(a), None, "stale remove is a no-op");
+        assert_eq!(slab[b], 2);
+    }
+
+    #[test]
+    fn iter_visits_live_slots_in_index_order() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        let c = slab.insert(30);
+        slab.remove(b);
+        let seen: Vec<(usize, i32)> = slab.iter().map(|(id, &v)| (id.index(), v)).collect();
+        assert_eq!(seen, vec![(a.index(), 10), (c.index(), 30)]);
+        assert_eq!(slab.values().copied().collect::<Vec<_>>(), vec![10, 30]);
+    }
+
+    #[test]
+    fn double_remove_is_safe() {
+        let mut slab = Slab::new();
+        let a = slab.insert(7);
+        assert_eq!(slab.remove(a), Some(7));
+        assert_eq!(slab.remove(a), None);
+        assert!(slab.is_empty());
+    }
+}

@@ -90,7 +90,7 @@ pub fn with_vcr_actions(
                 video: a.video,
                 viewing: gap,
             });
-            segment_start = segment_start + gap;
+            segment_start += gap;
             remaining -= gap;
             if remaining < cfg.min_segment {
                 break; // drop the sub-floor tail

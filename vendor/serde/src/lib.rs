@@ -1,0 +1,16 @@
+//! Offline resolution stub for `serde`.
+//!
+//! The workspace's `serde` support is an *optional* feature on the unit
+//! and disk crates; nothing enables it by default. This stub exists only
+//! so cargo can resolve the optional dependency without network access
+//! (see `[patch.crates-io]` in the root `Cargo.toml`). It intentionally
+//! provides no derive macros — enabling a workspace `serde` feature in
+//! this offline environment is unsupported and will fail to compile.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
