@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::cluster::ClusterBenchReport;
 use crate::perf::BenchReport;
 
 /// How many times slower than baseline a cell's wall-clock may be before
@@ -375,6 +376,211 @@ pub fn check_against_baseline(
     }
 }
 
+/// The deterministic per-cell counters of the cluster matrix the gate
+/// compares exactly.
+const CLUSTER_EXACT_COUNTERS: [&str; 7] = [
+    "dispatched",
+    "admitted",
+    "deferred",
+    "rejected",
+    "redirected",
+    "overflow_queued",
+    "underflows",
+];
+
+/// Compares a fresh [`ClusterBenchReport`] against a committed baseline.
+///
+/// The baseline document carries the cluster matrix under dedicated
+/// keys — `cluster_mode` and `cluster_cells` — so one
+/// `BENCH_baseline.json` can pin both the engine matrix (read by
+/// [`check_against_baseline`], which ignores unknown keys) and the
+/// cluster matrix. The cell objects under `cluster_cells` have the exact
+/// shape [`ClusterBenchReport::to_json`] emits for its `cells`.
+///
+/// Everything deterministic is compared exactly: matrix shape
+/// (nodes/placement/dispatch per cell), the front-end and admission
+/// counters, and `peak_memory_mib` (bitwise). Wall-clock is only gated
+/// at [`WALL_CLOCK_SLOWDOWN_LIMIT`]×.
+///
+/// # Errors
+///
+/// The `Err` variant carries the human-readable drift list.
+pub fn check_cluster_against_baseline(
+    report: &ClusterBenchReport,
+    baseline_src: &str,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut drift: Vec<String> = Vec::new();
+    let mut info: Vec<String> = Vec::new();
+
+    let baseline = match parse(baseline_src) {
+        Ok(b) => b,
+        Err(e) => return Err(vec![format!("baseline does not parse: {e}")]),
+    };
+
+    let mode = baseline
+        .get("cluster_mode")
+        .and_then(Json::as_str)
+        .unwrap_or("<absent>");
+    if mode != report.mode.label() {
+        drift.push(format!(
+            "cluster_mode mismatch: baseline `{mode}`, run `{}` (regenerate the baseline or pass the matching flag)",
+            report.mode.label()
+        ));
+        return Err(drift);
+    }
+    let seed = baseline.get("cluster_seed").and_then(Json::as_u64);
+    if seed != Some(report.seed) {
+        drift.push(format!(
+            "cluster_seed mismatch: baseline {seed:?}, run {}",
+            report.seed
+        ));
+    }
+
+    let empty: Vec<Json> = Vec::new();
+    let cells = baseline
+        .get("cluster_cells")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    if cells.len() != report.cells.len() {
+        drift.push(format!(
+            "cluster cell count mismatch: baseline {}, run {}",
+            cells.len(),
+            report.cells.len()
+        ));
+        return Err(drift);
+    }
+
+    for (base, cell) in cells.iter().zip(&report.cells) {
+        let label = format!(
+            "cluster {}n/{}/{}",
+            cell.nodes, cell.placement, cell.dispatch
+        );
+        if base.get("nodes").and_then(Json::as_u64) != Some(cell.nodes as u64)
+            || base.get("placement").and_then(Json::as_str) != Some(cell.placement)
+            || base.get("dispatch").and_then(Json::as_str) != Some(cell.dispatch)
+        {
+            drift.push(format!(
+                "{label}: cell shape mismatch (baseline {}n/{}/{})",
+                base.get("nodes")
+                    .and_then(Json::as_u64)
+                    .map_or_else(|| "?".into(), |n| n.to_string()),
+                base.get("placement").and_then(Json::as_str).unwrap_or("?"),
+                base.get("dispatch").and_then(Json::as_str).unwrap_or("?"),
+            ));
+            continue;
+        }
+        let run_counters: [u64; 7] = [
+            cell.dispatched,
+            cell.admitted,
+            cell.deferred,
+            cell.rejected,
+            cell.redirected,
+            cell.overflow_queued,
+            cell.underflows,
+        ];
+        for (key, r) in CLUSTER_EXACT_COUNTERS.into_iter().zip(run_counters) {
+            let b = base.get(key).and_then(Json::as_u64);
+            if b != Some(r) {
+                drift.push(format!("{label}: {key} baseline {b:?} != run {r}"));
+            }
+        }
+        let b_peak = base.get("peak_memory_mib").and_then(Json::as_f64);
+        if b_peak.map(f64::to_bits) != Some(cell.peak_memory_mib.to_bits()) {
+            drift.push(format!(
+                "{label}: peak_memory_mib baseline {b_peak:?} != run {:?}",
+                cell.peak_memory_mib
+            ));
+        }
+        let b_wall = base
+            .get("wall_clock_s")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if b_wall > 0.0 && cell.wall_clock_s > b_wall * WALL_CLOCK_SLOWDOWN_LIMIT {
+            drift.push(format!(
+                "{label}: wall-clock {:.2}s is more than {WALL_CLOCK_SLOWDOWN_LIMIT}x the baseline {b_wall:.2}s",
+                cell.wall_clock_s
+            ));
+        }
+        if b_wall > 0.0 && cell.wall_clock_s > 0.0 {
+            info.push(format!(
+                "{label}: {:.2}x baseline speed ({:.2}s vs {b_wall:.2}s)",
+                b_wall / cell.wall_clock_s,
+                cell.wall_clock_s
+            ));
+        }
+    }
+
+    if drift.is_empty() {
+        Ok(info)
+    } else {
+        Err(drift)
+    }
+}
+
+/// Splices a cluster report into a baseline document: returns `base_src`
+/// with its `cluster_mode`, `cluster_seed`, and `cluster_cells` members
+/// replaced by `report`'s (added if absent). Engine-matrix keys are
+/// untouched, so regenerating the cluster half of `BENCH_baseline.json`
+/// never perturbs the engine half.
+///
+/// # Errors
+///
+/// Returns a message when `base_src` is not a JSON object.
+pub fn merge_cluster_into_baseline(
+    report: &ClusterBenchReport,
+    base_src: &str,
+) -> Result<String, String> {
+    let Json::Obj(mut doc) = parse(base_src)? else {
+        return Err("baseline document is not a JSON object".into());
+    };
+    let Json::Obj(fresh) = parse(&report.to_json())? else {
+        return Err("cluster report did not serialize to an object".into());
+    };
+    doc.insert(
+        "cluster_mode".into(),
+        Json::Str(report.mode.label().to_owned()),
+    );
+    doc.insert(
+        "cluster_seed".into(),
+        fresh.get("seed").cloned().unwrap_or(Json::Null),
+    );
+    doc.insert(
+        "cluster_cells".into(),
+        fresh.get("cells").cloned().unwrap_or(Json::Arr(Vec::new())),
+    );
+    Ok(render(&Json::Obj(doc)))
+}
+
+/// Renders a parsed [`Json`] value back to text (object keys in
+/// [`BTreeMap`] order; floats in shortest round-trip form, so values
+/// that came in through [`parse`] go back out bit-identical).
+fn render(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_owned(),
+        Json::Bool(b) => b.to_string(),
+        // Keep counters readable as integers; `number` would print
+        // `360.0`. Bit-exactness is unaffected: both spellings parse
+        // back to the identical `f64`.
+        #[allow(clippy::cast_possible_truncation)]
+        Json::Num(x) if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) => {
+            format!("{}", *x as i64)
+        }
+        Json::Num(x) => vod_obs::json::number(*x),
+        Json::Str(s) => format!("\"{}\"", vod_obs::json::escape(s)),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", vod_obs::json::escape(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +612,47 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse("{}x").is_err());
         assert!(parse(r#"{"a":}"#).is_err());
+    }
+
+    #[test]
+    fn cluster_check_accepts_merged_self_and_flags_drift() {
+        let report = crate::cluster::run_cluster_bench(
+            crate::cluster::ClusterBenchMode::Smoke,
+            1,
+            &vod_obs::Obs::null(),
+            &|_| {},
+        );
+        // Merge into a minimal engine baseline: the engine keys survive
+        // and the cluster keys appear.
+        let merged = merge_cluster_into_baseline(&report, r#"{"mode":"smoke","seeds":[1]}"#)
+            .expect("merge succeeds on an object baseline");
+        let doc = parse(&merged).expect("merged baseline parses");
+        assert_eq!(doc.get("mode").and_then(Json::as_str), Some("smoke"));
+        assert_eq!(
+            doc.get("cluster_mode").and_then(Json::as_str),
+            Some("cluster_smoke")
+        );
+        let ok = check_cluster_against_baseline(&report, &merged);
+        assert!(ok.is_ok(), "self-check failed: {:?}", ok.err());
+
+        // Perturbing one cluster counter must fail the check.
+        let broken = merged.replacen(
+            &format!("\"admitted\":{}", report.cells[0].admitted),
+            &format!("\"admitted\":{}", report.cells[0].admitted + 1),
+            1,
+        );
+        assert_ne!(merged, broken, "perturbation must hit");
+        let err = check_cluster_against_baseline(&report, &broken);
+        let drift = err.expect_err("perturbed baseline must drift");
+        assert!(
+            drift.iter().any(|d| d.contains("admitted")),
+            "drift lines: {drift:?}"
+        );
+
+        // A baseline with no cluster keys fails with a clear message.
+        let bare = check_cluster_against_baseline(&report, r#"{"mode":"smoke"}"#);
+        let drift = bare.expect_err("missing cluster keys must fail");
+        assert!(drift.iter().any(|d| d.contains("cluster_mode")));
     }
 
     #[test]

@@ -40,8 +40,9 @@ use std::time::Instant;
 
 use vod_analysis::{write_csv, Table};
 use vod_bench::{
-    check_against_baseline, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g,
-    run_bench, tab3, tab4, tab5, vcr, BenchMode, Scale,
+    check_against_baseline, check_cluster_against_baseline, fig10, fig11, fig12, fig13, fig14,
+    fig6, fig7, fig8, fig9, gss_g, merge_cluster_into_baseline, run_bench, run_cluster_bench, tab3,
+    tab4, tab5, vcr, BenchMode, ClusterBenchMode, Scale,
 };
 use vod_obs::{json, prom, Metrics, MetricsRegistry, MetricsServer, Obs, RecorderSink};
 
@@ -99,11 +100,18 @@ fn print_usage() {
          <experiment>... | all | --list"
     );
     eprintln!("       repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>]");
+    eprintln!(
+        "       repro cluster [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>] \
+         [--merge-baseline <file>] [--metrics <file.prom>]"
+    );
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<6} {desc}");
     }
-    eprintln!("  bench  pinned performance matrix -> BENCH_perf.json");
+    eprintln!("  bench    pinned performance matrix -> BENCH_perf.json");
+    eprintln!(
+        "  cluster  cluster_scaling matrix (nodes x placement x dispatch) -> BENCH_cluster.json"
+    );
 }
 
 /// `repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>]`:
@@ -207,6 +215,171 @@ fn bench_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro cluster [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>]
+/// [--merge-baseline <file>] [--metrics <file.prom>]`:
+/// the `cluster_scaling` matrix (node count × placement × dispatch).
+///
+/// `--check` verifies the deterministic cells against the
+/// `cluster_cells` keys of a committed baseline (CI). `--merge-baseline`
+/// rewrites those keys in an existing baseline in place — the supported
+/// way to regenerate the cluster half of `BENCH_baseline.json` without
+/// touching the engine half. `--metrics` dumps the accumulated registry
+/// (per-node counters across every cell) in Prometheus text.
+fn cluster_main(args: &[String]) -> ExitCode {
+    let mut mode = ClusterBenchMode::Full;
+    let mut out = PathBuf::from("BENCH_cluster.json");
+    let mut check: Option<PathBuf> = None;
+    let mut merge: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--smoke" => mode = ClusterBenchMode::Smoke,
+            "--out" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--out requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                out = PathBuf::from(p);
+            }
+            "--check" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--check requires a baseline file argument");
+                    return ExitCode::FAILURE;
+                };
+                check = Some(PathBuf::from(p));
+            }
+            "--merge-baseline" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--merge-baseline requires a baseline file argument");
+                    return ExitCode::FAILURE;
+                };
+                merge = Some(PathBuf::from(p));
+            }
+            "--metrics" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--metrics requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                metrics_path = Some(PathBuf::from(p));
+            }
+            "--jobs" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
+            }
+            other => {
+                eprintln!("unknown cluster option `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Obs::null().with_metrics(Metrics::new(Arc::clone(&registry)));
+    let report = run_cluster_bench(mode, jobs, &obs, &|line| eprintln!("{line}"));
+    for c in &report.cells {
+        println!(
+            "{:>2} nodes  {:<14} {:<13} {:>6} arrivals  {:>5} deferred  {:>5} redirected  \
+             imbalance {:>5.2}  {:>8.2} MiB peak  {:.2}s",
+            c.nodes,
+            c.placement,
+            c.dispatch,
+            c.dispatched,
+            c.deferred,
+            c.redirected,
+            c.imbalance_ratio,
+            c.peak_memory_mib,
+            c.wall_clock_s,
+        );
+    }
+    if let Some(path) = &metrics_path {
+        if let Err(e) = std::fs::write(path, prom::render(&registry.snapshot())) {
+            eprintln!("error: could not write metrics {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(baseline_path) = merge {
+        let base = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let merged = match merge_cluster_into_baseline(&report, &base) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: could not merge into baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut body = merged;
+        body.push('\n');
+        if let Err(e) = std::fs::write(&baseline_path, body) {
+            eprintln!("error: could not write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[cluster {} cells merged into {}]",
+            report.cells.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_cluster_against_baseline(&report, &baseline) {
+            Ok(lines) => {
+                for l in lines {
+                    eprintln!("{l}");
+                }
+                eprintln!(
+                    "[cluster {} check OK against {}]",
+                    report.mode.label(),
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(drift) => {
+                for d in drift {
+                    eprintln!("cluster drift: {d}");
+                }
+                eprintln!(
+                    "[cluster {} check FAILED against {}]",
+                    report.mode.label(),
+                    baseline_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut body = report.to_json();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[cluster {} done in {:.1}s -> {}]",
+        report.mode.label(),
+        report.total_wall_clock_s,
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -215,6 +388,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "bench" {
         return bench_main(&args[1..]);
+    }
+    if args[0] == "cluster" {
+        return cluster_main(&args[1..]);
     }
     let mut scale = Scale::Full;
     let mut names: Vec<String> = Vec::new();

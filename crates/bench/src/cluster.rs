@@ -1,0 +1,558 @@
+//! `repro cluster`: the `cluster_scaling` performance matrix.
+//!
+//! Sweeps node count × placement policy × dispatch policy over a shared
+//! multi-movie workload (one Poisson process per movie, Zipf catalog —
+//! [`vod_workload::multi_movie`]), scaling total expected arrivals with
+//! the node count so per-node load stays constant across the sweep. Each
+//! cell reports the front end's deterministic counters (dispatched /
+//! admitted / deferred / rejected / redirected / overflow-queued /
+//! underflows), merged initial-latency percentiles, the load-imbalance
+//! ratio, and each node's memory saving versus a static worst-case
+//! reservation.
+//!
+//! Everything except wall-clock is deterministic for a given mode: the
+//! trace is a pure function of `(config, seed)`, a cluster run is a pure
+//! function of `(config, trace)`, and matrix results are collected by
+//! cell index whatever `--jobs` says — the same contract as the engine
+//! matrix in [`crate::perf`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant as WallInstant;
+
+use vod_cluster::{Cluster, ClusterConfig, DispatchPolicy, PlacementPolicy};
+use vod_core::SchemeKind;
+use vod_obs::json::{Array, Object};
+use vod_obs::Obs;
+use vod_sched::SchedulingMethod;
+use vod_sim::EngineConfig;
+use vod_types::Seconds;
+use vod_workload::{multi_movie, MultiMovieConfig};
+
+/// Node counts of the full scaling sweep.
+pub const FULL_NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Which slice of the cluster matrix to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterBenchMode {
+    /// The full sweep: nodes ∈ {1, 2, 4, 8, 16} × 3 placements × 3
+    /// dispatch policies (45 cells) over a 6-hour trace.
+    Full,
+    /// A CI-sized 2-cell subset at 2 nodes over a 2-hour trace.
+    Smoke,
+}
+
+/// One cell of the matrix: a cluster shape to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterCellSpec {
+    /// Node count.
+    pub nodes: usize,
+    /// Catalog placement policy.
+    pub placement: PlacementPolicy,
+    /// Replica-selection policy.
+    pub dispatch: DispatchPolicy,
+}
+
+impl ClusterBenchMode {
+    /// Mode tag used in the JSON document and baseline check.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterBenchMode::Full => "cluster_full",
+            ClusterBenchMode::Smoke => "cluster_smoke",
+        }
+    }
+
+    /// The pinned workload/policy seed every cell uses.
+    #[must_use]
+    pub fn seed(self) -> u64 {
+        1
+    }
+
+    /// Catalog size.
+    #[must_use]
+    pub fn movies(self) -> usize {
+        match self {
+            ClusterBenchMode::Full => 64,
+            ClusterBenchMode::Smoke => 16,
+        }
+    }
+
+    /// Expected arrivals per node: total trace volume is this times the
+    /// cell's node count, so per-node load is constant across the sweep.
+    #[must_use]
+    pub fn arrivals_per_node(self) -> f64 {
+        match self {
+            ClusterBenchMode::Full => 240.0,
+            ClusterBenchMode::Smoke => 200.0,
+        }
+    }
+
+    /// Simulated horizon in hours (peak sits at the midpoint).
+    #[must_use]
+    pub fn horizon_hours(self) -> f64 {
+        match self {
+            ClusterBenchMode::Full => 6.0,
+            ClusterBenchMode::Smoke => 2.0,
+        }
+    }
+
+    /// The cells of this mode, in run order.
+    #[must_use]
+    pub fn cells(self) -> Vec<ClusterCellSpec> {
+        let hot = (self.movies() / 4).max(1);
+        match self {
+            ClusterBenchMode::Full => {
+                let mut out = Vec::new();
+                for nodes in FULL_NODE_COUNTS {
+                    let placements = [
+                        PlacementPolicy::RoundRobin,
+                        PlacementPolicy::ZipfStripe,
+                        PlacementPolicy::ReplicatedHot {
+                            replicas: 2.min(nodes),
+                            hot_movies: hot,
+                        },
+                    ];
+                    let dispatches = [
+                        DispatchPolicy::LeastLoaded,
+                        DispatchPolicy::MostHeadroom,
+                        DispatchPolicy::RandomOfK { k: 2 },
+                    ];
+                    for placement in placements {
+                        for dispatch in dispatches {
+                            out.push(ClusterCellSpec {
+                                nodes,
+                                placement,
+                                dispatch,
+                            });
+                        }
+                    }
+                }
+                out
+            }
+            ClusterBenchMode::Smoke => vec![
+                ClusterCellSpec {
+                    nodes: 2,
+                    placement: PlacementPolicy::RoundRobin,
+                    dispatch: DispatchPolicy::LeastLoaded,
+                },
+                ClusterCellSpec {
+                    nodes: 2,
+                    placement: PlacementPolicy::ReplicatedHot {
+                        replicas: 2,
+                        hot_movies: hot,
+                    },
+                    dispatch: DispatchPolicy::MostHeadroom,
+                },
+            ],
+        }
+    }
+}
+
+/// One node's share of a cluster cell.
+#[derive(Clone, Debug)]
+pub struct ClusterNodeCell {
+    /// Node index.
+    pub node: usize,
+    /// Arrivals the front end offered to this node.
+    pub dispatched: u64,
+    /// Streams admitted here.
+    pub admitted: u64,
+    /// Requests deferred here (per-node Assumption-1 enforcement).
+    pub deferred: u64,
+    /// Arrivals accepted here after the primary replica refused.
+    pub redirected_in: u64,
+    /// Arrivals this node handed off as primary.
+    pub redirected_out: u64,
+    /// Peak buffer-pool usage, in mebibytes.
+    pub peak_memory_mib: f64,
+    /// `1 − peak / min_memory_static(N_cap)` for this node: the share
+    /// of a static worst-case reservation the dynamic sizing avoided.
+    pub memory_saving_vs_static: f64,
+}
+
+/// Measurements from one `(nodes, placement, dispatch)` cell.
+#[derive(Clone, Debug)]
+pub struct ClusterCellResult {
+    /// Node count.
+    pub nodes: usize,
+    /// Placement-policy label.
+    pub placement: &'static str,
+    /// Dispatch-policy label.
+    pub dispatch: &'static str,
+    /// Wall-clock seconds spent running the cell.
+    pub wall_clock_s: f64,
+    /// Arrivals dispatched (the trace length).
+    pub dispatched: u64,
+    /// Streams admitted across the cluster.
+    pub admitted: u64,
+    /// Requests deferred across the cluster.
+    pub deferred: u64,
+    /// Requests rejected across the cluster.
+    pub rejected: u64,
+    /// Arrivals accepted by a non-primary replica.
+    pub redirected: u64,
+    /// Arrivals that overflowed every replica into the cluster queue.
+    pub overflow_queued: u64,
+    /// Buffer underflows across the cluster (0 for the enforcing scheme).
+    pub underflows: u64,
+    /// Aggregate peak buffer memory across nodes, in mebibytes.
+    pub peak_memory_mib: f64,
+    /// Median initial latency over merged samples, seconds.
+    pub il_p50_s: Option<f64>,
+    /// 95th-percentile initial latency over merged samples, seconds.
+    pub il_p95_s: Option<f64>,
+    /// Deferrals per dispatched arrival.
+    pub deferral_rate: f64,
+    /// Busiest node's admissions over the mean (1.0 = balanced).
+    pub imbalance_ratio: f64,
+    /// Mean per-node memory saving vs a static reservation (over nodes
+    /// that served at least one stream).
+    pub mean_memory_saving_vs_static: f64,
+    /// Per-node detail, indexed by node.
+    pub per_node: Vec<ClusterNodeCell>,
+}
+
+impl ClusterCellResult {
+    fn to_json(&self) -> String {
+        let mut o = Object::new();
+        o.uint("nodes", self.nodes as u64);
+        o.str("placement", self.placement);
+        o.str("dispatch", self.dispatch);
+        o.num("wall_clock_s", self.wall_clock_s);
+        o.uint("dispatched", self.dispatched);
+        o.uint("admitted", self.admitted);
+        o.uint("deferred", self.deferred);
+        o.uint("rejected", self.rejected);
+        o.uint("redirected", self.redirected);
+        o.uint("overflow_queued", self.overflow_queued);
+        o.uint("underflows", self.underflows);
+        o.num("peak_memory_mib", self.peak_memory_mib);
+        match self.il_p50_s {
+            Some(x) => o.num("il_p50_s", x),
+            None => o.null("il_p50_s"),
+        }
+        match self.il_p95_s {
+            Some(x) => o.num("il_p95_s", x),
+            None => o.null("il_p95_s"),
+        }
+        o.num("deferral_rate", self.deferral_rate);
+        o.num("imbalance_ratio", self.imbalance_ratio);
+        o.num(
+            "mean_memory_saving_vs_static",
+            self.mean_memory_saving_vs_static,
+        );
+        let mut nodes = Array::new();
+        for n in &self.per_node {
+            let mut no = Object::new();
+            no.uint("node", n.node as u64);
+            no.uint("dispatched", n.dispatched);
+            no.uint("admitted", n.admitted);
+            no.uint("deferred", n.deferred);
+            no.uint("redirected_in", n.redirected_in);
+            no.uint("redirected_out", n.redirected_out);
+            no.num("peak_memory_mib", n.peak_memory_mib);
+            no.num("memory_saving_vs_static", n.memory_saving_vs_static);
+            nodes.raw(&no.finish());
+        }
+        o.raw("per_node", &nodes.finish());
+        o.finish()
+    }
+}
+
+/// A full cluster bench run: every cell of the mode, plus totals.
+#[derive(Clone, Debug)]
+pub struct ClusterBenchReport {
+    /// The mode that was run.
+    pub mode: ClusterBenchMode,
+    /// The pinned seed every cell used.
+    pub seed: u64,
+    /// Per-cell measurements, in matrix order.
+    pub cells: Vec<ClusterCellResult>,
+    /// Wall-clock seconds for the whole matrix.
+    pub total_wall_clock_s: f64,
+}
+
+impl ClusterBenchReport {
+    /// Renders the `BENCH_cluster.json` document. The cell objects are
+    /// the same shape the baseline carries under `cluster_cells` (see
+    /// [`crate::baseline::check_cluster_against_baseline`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = Object::new();
+        o.uint("version", 1);
+        o.str("mode", self.mode.label());
+        o.uint("seed", self.seed);
+        o.uint("movies", self.mode.movies() as u64);
+        o.num("arrivals_per_node", self.mode.arrivals_per_node());
+        let mut cells = Array::new();
+        for c in &self.cells {
+            cells.raw(&c.to_json());
+        }
+        o.raw("cells", &cells.finish());
+        o.num("total_wall_clock_s", self.total_wall_clock_s);
+        o.finish()
+    }
+}
+
+/// The per-node engine configuration every cell runs: the paper's
+/// dynamic scheme under Round-Robin — the configuration whose admission
+/// controller actually enforces Assumption 1, which is what redirection
+/// exists to route around.
+#[must_use]
+pub fn cluster_engine_config() -> EngineConfig {
+    EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Dynamic)
+}
+
+fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec) -> ClusterConfig {
+    ClusterConfig {
+        nodes: spec.nodes,
+        engine: cluster_engine_config(),
+        movies: mode.movies(),
+        movie_theta: 0.271,
+        placement: spec.placement,
+        dispatch: spec.dispatch,
+        seed: mode.seed(),
+    }
+}
+
+/// Runs one cell: generates the cell's trace (arrivals scale with the
+/// node count) and drives a fresh cluster over it.
+fn run_cluster_cell(mode: ClusterBenchMode, spec: ClusterCellSpec, obs: &Obs) -> ClusterCellResult {
+    let mut wl_cfg = MultiMovieConfig::paper_cluster(
+        mode.movies(),
+        0.271,
+        mode.arrivals_per_node() * spec.nodes as f64,
+    );
+    wl_cfg.duration = Seconds::from_hours(mode.horizon_hours());
+    wl_cfg.peak = Seconds::from_hours(mode.horizon_hours() / 2.0);
+    // A peaked (non-uniform) day: bursts at the peak are what push a
+    // node's Assumption-1 bound below its hard N cap, exercising
+    // deferral and overflow redirection rather than only rejection.
+    wl_cfg.profile_theta = 0.4;
+    let wl = multi_movie(&wl_cfg, mode.seed()).unwrap_or_else(|e| {
+        panic!(
+            "cluster bench workload ({} movies, {} nodes) must validate: {e}",
+            mode.movies(),
+            spec.nodes
+        )
+    });
+
+    let cfg = cell_config(mode, spec);
+    let t0 = WallInstant::now();
+    let cluster = Cluster::with_observer(cfg.clone(), obs.clone()).unwrap_or_else(|e| {
+        panic!(
+            "cluster bench cell ({} nodes, {}/{}) must validate: {e}",
+            spec.nodes,
+            spec.placement.label(),
+            spec.dispatch.label()
+        )
+    });
+    let report = cluster.run(&wl.arrivals);
+    let wall_clock_s = t0.elapsed().as_secs_f64();
+
+    let params = &cfg.engine.params;
+    let per_node: Vec<ClusterNodeCell> = report
+        .nodes
+        .iter()
+        .map(|n| ClusterNodeCell {
+            node: n.node,
+            dispatched: n.dispatched,
+            admitted: n.stats.admitted,
+            deferred: n.stats.deferrals,
+            redirected_in: n.redirected_in,
+            redirected_out: n.redirected_out,
+            peak_memory_mib: n.stats.peak_memory.as_mebibytes(),
+            memory_saving_vs_static: n.memory_saving_vs_static(params),
+        })
+        .collect();
+    let served: Vec<f64> = per_node
+        .iter()
+        .filter(|n| n.admitted > 0)
+        .map(|n| n.memory_saving_vs_static)
+        .collect();
+    let mean_saving = if served.is_empty() {
+        0.0
+    } else {
+        served.iter().sum::<f64>() / served.len() as f64
+    };
+
+    ClusterCellResult {
+        nodes: spec.nodes,
+        placement: spec.placement.label(),
+        dispatch: spec.dispatch.label(),
+        wall_clock_s,
+        dispatched: report.dispatched,
+        admitted: report.admitted(),
+        deferred: report.deferrals(),
+        rejected: report.rejected(),
+        redirected: report.redirected,
+        overflow_queued: report.overflow_queued,
+        underflows: report.underflows(),
+        peak_memory_mib: report.peak_memory_bits() / (8.0 * 1024.0 * 1024.0),
+        il_p50_s: report.latency_percentile(0.50).map(Seconds::as_secs_f64),
+        il_p95_s: report.latency_percentile(0.95).map(Seconds::as_secs_f64),
+        deferral_rate: report.deferral_rate(),
+        imbalance_ratio: report.imbalance_ratio(),
+        mean_memory_saving_vs_static: mean_saving,
+        per_node,
+    }
+}
+
+/// Runs the cluster matrix for `mode` on up to `jobs` worker threads.
+///
+/// `obs` is shared by every cell (pass a metrics-carrying observer to
+/// accumulate the cluster's Prometheus counters across the matrix, or
+/// `Obs::null()` for none); counter updates commute, so the shared
+/// registry's final state is job-count independent. Results are
+/// collected by matrix index, so every deterministic field of the
+/// report is byte-identical whatever the job count — only wall-clock
+/// varies. `progress` is called with a one-line description before each
+/// cell runs.
+#[must_use]
+pub fn run_cluster_bench(
+    mode: ClusterBenchMode,
+    jobs: usize,
+    obs: &Obs,
+    progress: &(dyn Fn(&str) + Sync),
+) -> ClusterBenchReport {
+    let specs = mode.cells();
+    let total = specs.len();
+    let jobs = jobs.max(1).min(total.max(1));
+    let t0 = WallInstant::now();
+
+    let announce = |i: usize, spec: ClusterCellSpec| {
+        progress(&format!(
+            "cluster [{}/{}] {} nodes / {} / {}",
+            i + 1,
+            total,
+            spec.nodes,
+            spec.placement.label(),
+            spec.dispatch.label(),
+        ));
+    };
+
+    let cells: Vec<ClusterCellResult> = if jobs == 1 {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                announce(i, spec);
+                run_cluster_cell(mode, spec, obs)
+            })
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ClusterCellResult>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    announce(i, specs[i]);
+                    let result = run_cluster_cell(mode, specs[i], obs);
+                    *slots[i]
+                        .lock()
+                        .expect("cluster bench slot mutex poisoned: a worker panicked") =
+                        Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .expect("cluster bench slot mutex poisoned: a worker panicked")
+                    .unwrap_or_else(|| panic!("cluster cell {i} was claimed but never filled"))
+            })
+            .collect()
+    };
+
+    ClusterBenchReport {
+        mode,
+        seed: mode.seed(),
+        cells,
+        total_wall_clock_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vod_obs::{prom, Metrics, MetricsRegistry};
+
+    #[test]
+    fn full_matrix_sweeps_every_shape_once() {
+        let cells = ClusterBenchMode::Full.cells();
+        assert_eq!(cells.len(), FULL_NODE_COUNTS.len() * 3 * 3);
+        let dedup: std::collections::HashSet<String> = cells
+            .iter()
+            .map(|c| format!("{}/{}/{}", c.nodes, c.placement.label(), c.dispatch.label()))
+            .collect();
+        assert_eq!(dedup.len(), cells.len(), "no duplicate cells");
+        // Single-node cells must clamp the replication factor.
+        for c in &cells {
+            if let PlacementPolicy::ReplicatedHot { replicas, .. } = c.placement {
+                assert!(replicas <= c.nodes, "cell {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_matrix_runs_and_serializes() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = Obs::null().with_metrics(Metrics::new(Arc::clone(&registry)));
+        let report = run_cluster_bench(ClusterBenchMode::Smoke, 1, &obs, &|_| {});
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.nodes, 2);
+            assert!(cell.dispatched > 0);
+            assert!(cell.admitted > 0);
+            assert_eq!(cell.underflows, 0, "dynamic scheme must never underflow");
+            assert_eq!(cell.per_node.len(), 2);
+            let per_node: u64 = cell.per_node.iter().map(|n| n.dispatched).sum();
+            assert_eq!(per_node, cell.dispatched);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"mode\":\"cluster_smoke\""));
+        assert!(json.contains("\"imbalance_ratio\""));
+        assert!(json.contains("\"per_node\""));
+        // The shared registry surfaces per-node counters for scraping.
+        let text = prom::render(&registry.snapshot());
+        assert!(text.contains("vod_cluster_node0_deferred_total"));
+        assert!(text.contains("vod_cluster_dispatched_total"));
+    }
+
+    /// The `--jobs` acceptance bar, cluster edition: any worker count
+    /// yields the identical deterministic fields.
+    #[test]
+    fn parallel_cluster_bench_matches_sequential_bit_for_bit() {
+        let obs = Obs::null();
+        let seq = run_cluster_bench(ClusterBenchMode::Smoke, 1, &obs, &|_| {});
+        let par = run_cluster_bench(ClusterBenchMode::Smoke, 2, &obs, &|_| {});
+        assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.dispatch, b.dispatch);
+            assert_eq!(a.dispatched, b.dispatched);
+            assert_eq!(a.admitted, b.admitted);
+            assert_eq!(a.deferred, b.deferred);
+            assert_eq!(a.rejected, b.rejected);
+            assert_eq!(a.redirected, b.redirected);
+            assert_eq!(a.overflow_queued, b.overflow_queued);
+            assert_eq!(a.underflows, b.underflows);
+            assert_eq!(a.peak_memory_mib.to_bits(), b.peak_memory_mib.to_bits());
+            assert_eq!(
+                a.imbalance_ratio.to_bits(),
+                b.imbalance_ratio.to_bits(),
+                "imbalance must be bit-identical across job counts"
+            );
+        }
+    }
+}

@@ -202,7 +202,8 @@ pub fn fig6(scale: Scale, obs: &Obs) -> Vec<Table> {
     );
     let mut columns: Vec<Vec<usize>> = Vec::new();
     for &theta in &THETAS {
-        let workload = generate(&workload_cfg(scale, theta), 1).expect("valid workload");
+        let workload = generate(&workload_cfg(scale, theta), 1)
+            .unwrap_or_else(|e| panic!("fig6 workload (θ = {theta}) must validate: {e}"));
         let engine = vod_sim::DiskEngine::with_observer(
             engine_cfg(SchedulingMethod::RoundRobin, SchemeKind::Dynamic),
             obs.clone(),
@@ -226,7 +227,13 @@ pub fn fig6(scale: Scale, obs: &Obs) -> Vec<Table> {
 /// Runs `exp` with every seed's engine reporting into `obs`.
 fn run_observed(exp: &LatencyExperiment, obs: &Obs) -> vod_sim::LatencyResult {
     run_latency_experiment_observed(exp, &|_| obs.clone())
-        .expect("valid experiment")
+        .unwrap_or_else(|e| {
+            panic!(
+                "latency experiment ({:?} / {}) has a pinned config; it must validate: {e}",
+                exp.engine.scheme,
+                exp.engine.params.method.label()
+            )
+        })
         .result
 }
 
@@ -413,7 +420,9 @@ fn fig14_for_theta(scale: Scale, theta: f64, obs: &Obs) -> (Table, Vec<(f64, f64
                 let mut wl_cfg = WorkloadConfig::paper_ten_disk(theta, scale.capacity_arrivals());
                 wl_cfg.duration = scale.duration();
                 wl_cfg.peak = scale.peak();
-                let workload = generate(&wl_cfg, seed).expect("valid workload");
+                let workload = generate(&wl_cfg, seed).unwrap_or_else(|e| {
+                    panic!("fig14 workload (θ = {theta}, seed {seed}) must validate: {e}")
+                });
                 let sim = CapacitySim::with_observer(
                     CapacityConfig {
                         params: params.clone(),
@@ -424,7 +433,9 @@ fn fig14_for_theta(scale: Scale, theta: f64, obs: &Obs) -> (Table, Vec<(f64, f64
                     },
                     obs.clone(),
                 )
-                .expect("valid capacity config");
+                .unwrap_or_else(|e| {
+                    panic!("fig14 capacity sim ({scheme:?}, {gb} GB) must validate: {e}")
+                });
                 total += sim.run(&workload).max_concurrent as f64;
             }
             means[i] = total / scale.seeds().len() as f64;
@@ -535,8 +546,10 @@ pub fn vcr(scale: Scale, obs: &Obs) -> Vec<Table> {
         "Extension — VCR responsiveness (mean / p95 initial latency, s)",
         &["scheme", "requests", "mean_s", "p95_s", "underflows"],
     );
-    let base = generate(&workload_cfg(scale, 1.0), 21).expect("valid workload");
-    let fidgety = with_vcr_actions(&base, VcrConfig::fidgety(), 9).expect("valid VCR config");
+    let base = generate(&workload_cfg(scale, 1.0), 21)
+        .unwrap_or_else(|e| panic!("vcr base workload must validate: {e}"));
+    let fidgety = with_vcr_actions(&base, VcrConfig::fidgety(), 9)
+        .unwrap_or_else(|e| panic!("fidgety VCR overlay must validate: {e}"));
     for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
         let stats = vod_sim::DiskEngine::with_observer(
             engine_cfg(SchedulingMethod::RoundRobin, scheme),

@@ -233,7 +233,12 @@ fn run_cell(
     let mut exp = experiment(mode.scale(), method, scheme, theta);
     exp.seeds = mode.seeds();
     let t0 = WallInstant::now();
-    let out = run_latency_experiment_observed(&exp, &|_| obs.clone()).expect("valid bench cell");
+    let out = run_latency_experiment_observed(&exp, &|_| obs.clone()).unwrap_or_else(|e| {
+        panic!(
+            "bench cell ({scheme:?} / {} / θ = {theta}) has a pinned config; it must validate: {e}",
+            method.label()
+        )
+    });
     let wall_clock_s = t0.elapsed().as_secs_f64();
     let stats = &out.result.stats;
     CellResult {

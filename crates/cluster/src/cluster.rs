@@ -1,0 +1,401 @@
+//! The cluster front end: N independent node engines behind placement,
+//! replica selection, and overflow redirection.
+//!
+//! # Determinism contract
+//!
+//! A run is a pure function of `(config, trace)`:
+//!
+//! * nodes are stepped in **fixed index order** before every dispatch,
+//!   so inter-node event interleaving is not a source of nondeterminism;
+//! * all policy decisions read node state that is itself deterministic,
+//!   and `RandomOfK` draws from one seeded RNG in dispatch order;
+//! * the parallel drain (`jobs > 1`) claims nodes from an atomic counter
+//!   but merges results **by node index**, so any job count produces the
+//!   byte-identical report (the PR 3 bench-matrix pattern).
+//!
+//! With one node and [`PlacementPolicy::PassThrough`], the front end
+//! reduces to `advance_to` + `offer` + `finish` on a single engine —
+//! bit-identical to [`DiskEngine::run`] (pinned by a test).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vod_obs::metrics::{
+    per_node, CTR_CLUSTER_DISPATCHED, CTR_CLUSTER_QUEUED, CTR_CLUSTER_REDIRECTED,
+    GAUGE_CLUSTER_IMBALANCE, GAUGE_CLUSTER_MEM_PEAK, GAUGE_CLUSTER_NODES,
+};
+use vod_obs::Obs;
+use vod_sim::{DiskEngine, EngineConfig};
+use vod_types::{ConfigError, Instant};
+use vod_workload::{Arrival, Zipf};
+
+use crate::dispatch::DispatchPolicy;
+use crate::placement::{Placement, PlacementPolicy};
+use crate::report::{ClusterReport, NodeReport};
+
+/// Configuration of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes. Each runs an independent [`DiskEngine`] built
+    /// from `engine` (own admission controller, estimator, budget).
+    pub nodes: usize,
+    /// The per-node engine configuration.
+    pub engine: EngineConfig,
+    /// Catalog size: movies are `VideoId(0..movies)`.
+    pub movies: usize,
+    /// Zipf skew of catalog popularity (drives placement ranking).
+    pub movie_theta: f64,
+    /// Movie → replica-set policy.
+    pub placement: PlacementPolicy,
+    /// Replica-selection policy.
+    pub dispatch: DispatchPolicy,
+    /// Seed for `RandomOfK` draws (unused by deterministic policies,
+    /// but part of the config so every run is seed-addressable).
+    pub seed: u64,
+}
+
+/// One node: its engine plus front-end accounting.
+struct Node {
+    engine: DiskEngine,
+    dispatched: u64,
+    redirected_in: u64,
+    redirected_out: u64,
+}
+
+/// An arrival that overflowed every replica, parked cluster-wide.
+struct Parked {
+    arrival: Arrival,
+    /// Preference order captured at dispatch time (primary first).
+    candidates: Vec<usize>,
+}
+
+/// The cluster front end. Build with [`Cluster::new`] /
+/// [`Cluster::with_observer`], then consume with [`Cluster::run`].
+pub struct Cluster {
+    cfg: ClusterConfig,
+    placement: Placement,
+    nodes: Vec<Node>,
+    queue: VecDeque<Parked>,
+    rng: SmallRng,
+    obs: Obs,
+    dispatched: u64,
+    redirected: u64,
+    overflow_queued: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster with the historical default observer (see
+    /// [`DiskEngine::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, ConfigError> {
+        Self::with_observer(cfg, Obs::from_env())
+    }
+
+    /// Builds a cluster whose nodes all emit into `obs` (shared event
+    /// sink and metrics registry; per-node counters are written under
+    /// `vod_cluster_node<i>_*` names at the end of the run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for infeasible parameters.
+    pub fn with_observer(cfg: ClusterConfig, obs: Obs) -> Result<Self, ConfigError> {
+        if cfg.nodes == 0 {
+            return Err(ConfigError::new("cluster_nodes", "must be at least 1"));
+        }
+        let popularity = Zipf::new(cfg.movies, cfg.movie_theta)?;
+        let placement = Placement::build(cfg.placement, popularity.probabilities(), cfg.nodes)?;
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for _ in 0..cfg.nodes {
+            nodes.push(Node {
+                engine: DiskEngine::with_observer(cfg.engine.clone(), obs.clone())?,
+                dispatched: 0,
+                redirected_in: 0,
+                redirected_out: 0,
+            });
+        }
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Ok(Cluster {
+            cfg,
+            placement,
+            nodes,
+            queue: VecDeque::new(),
+            rng,
+            obs,
+            dispatched: 0,
+            redirected: 0,
+            overflow_queued: 0,
+        })
+    }
+
+    /// Runs the cluster over a time-sorted trace, draining nodes
+    /// sequentially. Equivalent to `run_with_jobs(arrivals, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not time-sorted.
+    #[must_use]
+    pub fn run(self, arrivals: &[Arrival]) -> ClusterReport {
+        self.run_with_jobs(arrivals, 1)
+    }
+
+    /// Runs the cluster over a time-sorted trace. `jobs > 1` drains the
+    /// node engines on a scoped thread pool after the last arrival;
+    /// results merge by node index, so the report is byte-identical at
+    /// any job count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not time-sorted.
+    #[must_use]
+    pub fn run_with_jobs(mut self, arrivals: &[Arrival], jobs: usize) -> ClusterReport {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival trace must be time-sorted"
+        );
+        for a in arrivals {
+            // Fixed round order: every node catches up to the arrival
+            // instant before any routing decision reads its state.
+            for node in &mut self.nodes {
+                node.engine.advance_to(a.at);
+            }
+            self.retry_overflow_queue(a.at);
+            self.dispatch(a);
+        }
+        // End of trace: park nothing forever — hand stragglers to their
+        // least-loaded candidate and let that node's own admission queue
+        // own the wait (single-node deferral semantics take over).
+        self.flush_overflow_queue();
+        self.finish(jobs)
+    }
+
+    /// Routes one arrival: straight to the owner when it has a single
+    /// replica (exactly a single-node `run` would); otherwise pre-flight
+    /// the policy's preference order and redirect overflow to siblings,
+    /// parking cluster-wide when every replica is saturated.
+    fn dispatch(&mut self, a: &Arrival) {
+        self.dispatched += 1;
+        let replicas = self.placement.replicas_of(a.video).to_vec();
+        assert!(
+            !replicas.is_empty(),
+            "arrival references video {} outside the placed catalog of {} movies",
+            a.video,
+            self.placement.movies()
+        );
+        if replicas.len() == 1 {
+            let ni = replicas[0];
+            self.nodes[ni].dispatched += 1;
+            self.nodes[ni].engine.offer(a);
+            return;
+        }
+        let order = self.preference_order(&replicas, a.at);
+        let primary = order[0];
+        for (rank, &ni) in order.iter().enumerate() {
+            if self.nodes[ni].engine.would_accept(a.at) {
+                if rank > 0 {
+                    self.redirected += 1;
+                    self.nodes[primary].redirected_out += 1;
+                    self.nodes[ni].redirected_in += 1;
+                }
+                self.nodes[ni].dispatched += 1;
+                self.nodes[ni].engine.offer(a);
+                return;
+            }
+        }
+        // Every replica would defer or reject: queue cluster-wide and
+        // retry at the next dispatch instant.
+        self.overflow_queued += 1;
+        self.queue.push_back(Parked {
+            arrival: *a,
+            candidates: order,
+        });
+    }
+
+    /// The policy's preference order over the replica set (primary
+    /// first). Pure given node state + the seeded RNG cursor.
+    fn preference_order(&mut self, replicas: &[usize], now: Instant) -> Vec<usize> {
+        let mut order = replicas.to_vec();
+        match self.cfg.dispatch {
+            DispatchPolicy::LeastLoaded => {
+                order.sort_by_key(|&ni| (self.nodes[ni].engine.offered(), ni));
+            }
+            DispatchPolicy::MostHeadroom => {
+                let mut keyed: Vec<(f64, usize)> = order
+                    .iter()
+                    .map(|&ni| (self.nodes[ni].engine.memory_headroom(now), ni))
+                    .collect();
+                keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                order.clear();
+                order.extend(keyed.iter().map(|&(_, ni)| ni));
+            }
+            DispatchPolicy::RandomOfK { k } => {
+                // Partial Fisher–Yates: the first k entries become the
+                // sample, ordered least-loaded; the unsampled tail keeps
+                // replica order as overflow fallbacks.
+                let k = k.clamp(1, order.len());
+                for i in 0..k {
+                    let j = i + self.rng.gen_range(0..order.len() - i);
+                    order.swap(i, j);
+                }
+                let (sample, _) = order.split_at_mut(k);
+                sample.sort_by_key(|&ni| (self.nodes[ni].engine.offered(), ni));
+            }
+        }
+        order
+    }
+
+    /// Retries parked arrivals at a dispatch instant, strictly FIFO: the
+    /// head unblocks first or nothing does (so redirection interleavings
+    /// cannot starve an older request behind a younger one).
+    fn retry_overflow_queue(&mut self, now: Instant) {
+        while let Some(head) = self.queue.front() {
+            let Some(target) = head
+                .candidates
+                .iter()
+                .copied()
+                .find(|&ni| self.nodes[ni].engine.would_accept(now))
+            else {
+                return;
+            };
+            let head = self.queue.pop_front().expect("front exists");
+            if target != head.candidates[0] {
+                self.redirected += 1;
+                self.nodes[head.candidates[0]].redirected_out += 1;
+                self.nodes[target].redirected_in += 1;
+            }
+            self.nodes[target].dispatched += 1;
+            self.nodes[target].engine.offer(&head.arrival);
+        }
+    }
+
+    /// Hands every still-parked arrival to its least-loaded candidate
+    /// unconditionally (end of trace: no further retry instants exist).
+    fn flush_overflow_queue(&mut self) {
+        while let Some(parked) = self.queue.pop_front() {
+            let target = parked
+                .candidates
+                .iter()
+                .copied()
+                .min_by_key(|&ni| (self.nodes[ni].engine.offered(), ni))
+                .expect("replica candidates are non-empty");
+            self.nodes[target].dispatched += 1;
+            self.nodes[target].engine.offer(&parked.arrival);
+        }
+    }
+
+    /// Drains every node engine and assembles the report, then writes
+    /// the cluster-wide and per-node metrics into the shared registry.
+    fn finish(self, jobs: usize) -> ClusterReport {
+        let Cluster {
+            cfg,
+            nodes,
+            obs,
+            dispatched,
+            redirected,
+            overflow_queued,
+            ..
+        } = self;
+
+        let accounted: Vec<(u64, u64, u64)> = nodes
+            .iter()
+            .map(|n| (n.dispatched, n.redirected_in, n.redirected_out))
+            .collect();
+        let engines: Vec<DiskEngine> = nodes.into_iter().map(|n| n.engine).collect();
+        let stats = drain_engines(engines, jobs);
+
+        let node_reports: Vec<NodeReport> = stats
+            .into_iter()
+            .enumerate()
+            .map(|(i, stats)| NodeReport {
+                node: i,
+                dispatched: accounted[i].0,
+                redirected_in: accounted[i].1,
+                redirected_out: accounted[i].2,
+                stats,
+            })
+            .collect();
+        let report = ClusterReport {
+            nodes: node_reports,
+            dispatched,
+            redirected,
+            overflow_queued,
+        };
+
+        let m = obs.metrics();
+        m.counter(CTR_CLUSTER_DISPATCHED).add(report.dispatched);
+        m.counter(CTR_CLUSTER_REDIRECTED).add(report.redirected);
+        m.counter(CTR_CLUSTER_QUEUED).add(report.overflow_queued);
+        m.gauge(GAUGE_CLUSTER_NODES).set(cfg.nodes as f64);
+        m.gauge(GAUGE_CLUSTER_IMBALANCE)
+            .set(report.imbalance_ratio());
+        m.gauge(GAUGE_CLUSTER_MEM_PEAK)
+            .set(report.peak_memory_bits());
+        for n in &report.nodes {
+            m.counter(&per_node(n.node, "dispatched_total"))
+                .add(n.dispatched);
+            m.counter(&per_node(n.node, "admitted_total"))
+                .add(n.stats.admitted);
+            m.counter(&per_node(n.node, "deferred_total"))
+                .add(n.stats.deferrals);
+            m.counter(&per_node(n.node, "rejected_total"))
+                .add(n.stats.rejected);
+            m.counter(&per_node(n.node, "redirected_in_total"))
+                .add(n.redirected_in);
+            m.counter(&per_node(n.node, "redirected_out_total"))
+                .add(n.redirected_out);
+            m.gauge(&per_node(n.node, "mem_peak_bits"))
+                .set(n.stats.peak_memory.as_f64());
+        }
+        report
+    }
+}
+
+/// Drains engines to completion. `jobs <= 1` runs in index order on the
+/// calling thread; otherwise a scoped pool claims node indices from an
+/// atomic counter and writes each result into its own slot — collection
+/// is by index, so the output is identical at any job count.
+fn drain_engines(engines: Vec<DiskEngine>, jobs: usize) -> Vec<vod_sim::DiskRunStats> {
+    if jobs <= 1 || engines.len() <= 1 {
+        return engines.into_iter().map(DiskEngine::finish).collect();
+    }
+    let n = engines.len();
+    let slots: Vec<Mutex<Option<vod_sim::DiskRunStats>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Vec<Mutex<Option<DiskEngine>>> =
+        engines.into_iter().map(|e| Mutex::new(Some(e))).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let engine = work[i]
+                    .lock()
+                    .expect("engine slot mutex poisoned: a drain worker panicked")
+                    .take()
+                    .expect("each node index is claimed exactly once");
+                let stats = engine.finish();
+                *slots[i]
+                    .lock()
+                    .expect("result slot mutex poisoned: a drain worker panicked") = Some(stats);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot mutex poisoned: a drain worker panicked")
+                .unwrap_or_else(|| panic!("node {i} produced no drain result"))
+        })
+        .collect()
+}

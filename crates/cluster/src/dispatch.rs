@@ -1,0 +1,39 @@
+//! Replica selection: which holding node an arrival is routed to.
+//!
+//! A policy produces a deterministic *preference order* over the
+//! replica set; the dispatcher offers the arrival to the first node
+//! whose pre-flight check passes and treats the rest as overflow
+//! fallbacks (see `cluster.rs`). `RandomOfK` consumes the cluster's
+//! seeded RNG once per multi-replica dispatch, so its draw sequence —
+//! and therefore the whole run — is a function of the seed alone.
+
+/// How a replica-holding node is chosen for each arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// The node with the fewest offered streams (in service + queued);
+    /// ties break toward the lower node index.
+    LeastLoaded,
+    /// The node with the most memory headroom under its budget, using
+    /// the node's own `BS_k(n)` table to price the marginal stream
+    /// (unbounded nodes rank by cheapest marginal reservation).
+    MostHeadroom,
+    /// Classic power-of-d-choices: sample `k` distinct replicas with the
+    /// cluster RNG, then take the least-loaded of the sample. Unsampled
+    /// replicas remain as overflow fallbacks after the sample.
+    RandomOfK {
+        /// Sample size (clamped to the replica-set size).
+        k: usize,
+    },
+}
+
+impl DispatchPolicy {
+    /// Stable label used in bench cells and reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchPolicy::LeastLoaded => "least_loaded",
+            DispatchPolicy::MostHeadroom => "most_headroom",
+            DispatchPolicy::RandomOfK { .. } => "random_of_k",
+        }
+    }
+}

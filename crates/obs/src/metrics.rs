@@ -66,6 +66,29 @@ pub const GAUGE_POOL_PEAK: &str = "vod_pool_peak_bits";
 /// Gauge: entries in the most recently built `BS_k(n)` size table.
 pub const GAUGE_TABLE_ENTRIES: &str = "vod_size_table_entries";
 
+/// Counter: arrivals dispatched by the cluster front end.
+pub const CTR_CLUSTER_DISPATCHED: &str = "vod_cluster_dispatched_total";
+/// Counter: arrivals redirected off their primary replica (overflow).
+pub const CTR_CLUSTER_REDIRECTED: &str = "vod_cluster_redirected_total";
+/// Counter: arrivals parked in the cluster-wide overflow queue.
+pub const CTR_CLUSTER_QUEUED: &str = "vod_cluster_queued_total";
+/// Gauge: nodes composing the cluster.
+pub const GAUGE_CLUSTER_NODES: &str = "vod_cluster_nodes";
+/// Gauge: cluster load-imbalance ratio (max node admissions / mean).
+pub const GAUGE_CLUSTER_IMBALANCE: &str = "vod_cluster_imbalance_ratio";
+/// Gauge: aggregate peak buffer memory across nodes, in bits.
+pub const GAUGE_CLUSTER_MEM_PEAK: &str = "vod_cluster_mem_peak_bits";
+
+/// Per-node metric name: `vod_cluster_node<i>_<suffix>`. The node index
+/// is embedded in the name (not a label) so the registry's flat
+/// `BTreeMap` namespace and the Prometheus renderer need no label
+/// machinery; suffixes mirror the cluster counter families, e.g.
+/// `per_node(3, "deferred_total")` → `vod_cluster_node3_deferred_total`.
+#[must_use]
+pub fn per_node(node: usize, suffix: &str) -> String {
+    format!("vod_cluster_node{node}_{suffix}")
+}
+
 /// Exponent of the smallest finite histogram bound (`2^-20` ≈ 1 µs).
 const LOG_MIN_EXP: i32 = -20;
 /// Number of buckets: 33 finite power-of-two bounds (`2^-20 ..= 2^12`,

@@ -142,7 +142,9 @@ impl CapacitySim {
                 if dep.at > a.at {
                     break;
                 }
-                let dep = departures.pop().expect("peeked");
+                let dep = departures
+                    .pop()
+                    .expect("departure heap cannot empty while peek returned a due entry");
                 n[dep.disk] -= 1;
                 concurrent -= 1;
                 let k = self.estimate_k(&mut logs[dep.disk], dep.at, n[dep.disk], k_last[dep.disk]);

@@ -239,6 +239,19 @@ pub struct DiskEngine {
     rng: SmallRng,
     obs: Obs,
     m: EngineMetrics,
+    /// Monotone id source for ingested requests (engine-owned so the
+    /// steppable API and `run` mint identical id sequences).
+    next_request_id: u64,
+    /// Lifetime progress-step counter backing the no-progress guard.
+    iters: u64,
+}
+
+/// Outcome of one engine progress step (see [`DiskEngine::step_body`]).
+enum Step {
+    /// Serviced a stream, planned a cycle, or advanced the clock.
+    Progressed,
+    /// No internal work left and no external event to wait for.
+    Drained,
 }
 
 impl DiskEngine {
@@ -312,6 +325,8 @@ impl DiskEngine {
             rng,
             obs,
             m,
+            next_request_id: 0,
+            iters: 0,
         })
     }
 
@@ -330,30 +345,47 @@ impl DiskEngine {
             "arrival trace must be time-sorted"
         );
         let mut ai = 0usize;
-        let mut next_id = 0u64;
-        // Generous progress bound: every iteration either services a
-        // buffer, ingests an arrival, or advances to a departure.
-        let max_iters = 200_000_000u64;
-        let mut iters = 0u64;
 
         loop {
-            iters += 1;
-            assert!(
-                iters < max_iters,
-                "engine failed to make progress at {}",
-                self.t
-            );
-
             // Retire departures and ingest arrivals up to the current
             // time. Departures first: a request arriving "now" must see
             // the true number of streams in service, not corpses holding
             // slots until the cycle boundary.
             self.process_due_departures();
             while ai < arrivals.len() && arrivals[ai].at <= self.t {
-                self.ingest(&arrivals[ai], &mut next_id);
+                self.ingest(&arrivals[ai]);
                 ai += 1;
             }
+            match self.step_body(arrivals.get(ai).map(|a| a.at)) {
+                Step::Progressed => {}
+                Step::Drained => break,
+            }
+        }
 
+        self.finalize()
+    }
+
+    /// One progress step of the service loop: plan/start a cycle, service
+    /// the stream at the cursor, or jump the clock to the next event.
+    /// `next_arrival` is the earliest *external* arrival the caller still
+    /// holds — `run` passes the trace head, the steppable API passes its
+    /// advance horizon — so idle jumps never skip over an ingestion point.
+    ///
+    /// The caller owns departure processing and arrival ingestion; this is
+    /// the exact loop body `run` has always executed, factored out so a
+    /// cluster front end can drive a node arrival-by-arrival with
+    /// bit-identical results.
+    fn step_body(&mut self, next_arrival: Option<Instant>) -> Step {
+        // Generous progress bound: every step either services a buffer
+        // or advances to the next event.
+        self.iters += 1;
+        assert!(
+            self.iters < 200_000_000,
+            "engine failed to make progress at {}",
+            self.t
+        );
+
+        {
             if self.cursor >= self.order.len() {
                 // ---- Cycle boundary ----
                 let mut idle_cycle = false;
@@ -377,7 +409,7 @@ impl DiskEngine {
                     // Idle: jump to the next external event (arrival,
                     // departure, or a queued request's slot boundary).
                     let candidates = [
-                        arrivals.get(ai).map(|a| a.at),
+                        next_arrival,
                         self.earliest_departure(),
                         self.pending.front().map(|p| p.eligible_at),
                     ];
@@ -386,7 +418,7 @@ impl DiskEngine {
                         Some(target) => self.t = target.max(self.t),
                         None => {
                             if self.pending.is_empty() {
-                                break; // fully drained
+                                return Step::Drained;
                             }
                             // Unreachable in practice: an empty roster
                             // admits freely; surviving queue entries were
@@ -405,7 +437,7 @@ impl DiskEngine {
                             }
                         }
                     }
-                    continue;
+                    return Step::Progressed;
                 }
 
                 let plan = self.plan_cycle_start();
@@ -417,10 +449,12 @@ impl DiskEngine {
                     // before the first buffer drains (or the next external
                     // event), where a refill is guaranteed to be non-empty
                     // and still completes in time.
-                    let fallback = plan.expect("checked is_some").fallback;
+                    let fallback = plan
+                        .expect("idle_cycle branch is guarded by plan.is_some_and above")
+                        .fallback;
                     let mut target = fallback;
-                    if let Some(a) = arrivals.get(ai) {
-                        target = target.min(a.at);
+                    if let Some(a) = next_arrival {
+                        target = target.min(a);
                     }
                     if let Some(d) = self.earliest_departure() {
                         target = target.min(d);
@@ -428,7 +462,7 @@ impl DiskEngine {
                     if target > self.t {
                         self.t = target;
                         self.order.clear();
-                        continue;
+                        return Step::Progressed;
                     }
                 }
                 let Some(plan) = plan else {
@@ -436,13 +470,12 @@ impl DiskEngine {
                     // departure. Jump to the earliest departure.
                     self.order.clear();
                     if let Some(d) = self.earliest_departure() {
-                        let next_arrival = arrivals.get(ai).map(|a| a.at);
                         self.t = match next_arrival {
                             Some(a) => a.min(d).max(self.t),
                             None => d.max(self.t),
                         };
                     }
-                    continue;
+                    return Step::Progressed;
                 };
                 let mut start = plan.start;
                 if start < self.t {
@@ -452,7 +485,7 @@ impl DiskEngine {
                 // boundary) before the planned start are handled first so
                 // admission (and BubbleUp) can react.
                 let next_external = [
-                    arrivals.get(ai).map(|a| a.at),
+                    next_arrival,
                     self.pending
                         .front()
                         .map(|p| p.eligible_at)
@@ -466,7 +499,7 @@ impl DiskEngine {
                     if e < start {
                         self.t = e.max(self.t);
                         self.order.clear();
-                        continue;
+                        return Step::Progressed;
                     }
                 }
                 let due_min = self.earliest_due();
@@ -495,7 +528,7 @@ impl DiskEngine {
                             streams,
                         });
                 }
-                continue;
+                return Step::Progressed;
             }
 
             // ---- Mid-cycle: service the stream at the cursor ----
@@ -512,17 +545,149 @@ impl DiskEngine {
             let slot = self.order[self.cursor];
             self.cursor += 1;
             let Some(s) = self.streams.get(slot) else {
-                continue; // departed earlier in the cycle
+                return Step::Progressed; // departed earlier in the cycle
             };
             if let Some(d) = s.departs_at() {
                 if d <= self.t {
                     self.depart(slot, d);
-                    continue;
+                    return Step::Progressed;
                 }
             }
             self.service(slot);
         }
+        Step::Progressed
+    }
 
+    // ---------- steppable node API ----------
+
+    /// The engine's simulated clock.
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.t
+    }
+
+    /// Streams currently in service.
+    #[must_use]
+    pub fn in_service(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Requests waiting in the node-local admission queue `Q`.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total load offered to this node: in-service plus queued streams.
+    /// This is the count load-balancing dispatch policies compare.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.streams.len() + self.pending.len()
+    }
+
+    /// Requests deferred by Assumption-1 enforcement so far.
+    #[must_use]
+    pub fn deferrals(&self) -> u64 {
+        self.stats.deferrals
+    }
+
+    /// How many more requests this node could take *right now* without
+    /// an Assumption-1 deferral: `min(min_i(n_i + k_i), N)` minus
+    /// everything already offered (in service or queued). Static/naive
+    /// schemes only enforce the disk bound `N`. (`&mut` only to advance
+    /// the controller's min-aggregate cursor; nothing is perturbed.)
+    pub fn admission_headroom(&mut self) -> usize {
+        let offered = self.streams.len() + self.pending.len();
+        let bound = match &mut self.scheme {
+            SchemeState::Dynamic(ctl) => ctl.admission_bound(),
+            SchemeState::Static | SchemeState::Naive(_) => self.cfg.params.max_requests(),
+        };
+        bound.saturating_sub(offered)
+    }
+
+    /// The reservation-model memory this node would need with
+    /// `prospective_n` concurrent streams at `now` — the same per-scheme
+    /// `BS_k(n)` estimate arrival-time admission uses, so a dispatch
+    /// policy can rank replicas by marginal memory cost. (`&mut` to prune
+    /// the estimator's arrival log; pruning is semantics-preserving.)
+    pub fn projected_memory(&mut self, prospective_n: usize, now: Instant) -> Bits {
+        self.reservation_memory(prospective_n, now)
+    }
+
+    /// Memory headroom left under this node's budget if one more stream
+    /// were admitted at `now`. Unbounded-memory nodes report the negated
+    /// projected need, so "most headroom" still ranks by marginal cost.
+    pub fn memory_headroom(&mut self, now: Instant) -> f64 {
+        let offered = self.streams.len() + self.pending.len();
+        let needed = self.reservation_memory(offered + 1, now).as_f64();
+        match self.cfg.memory_budget {
+            Some(budget) => budget.as_f64() - needed,
+            None => -needed,
+        }
+    }
+
+    /// Pre-flight check for cluster dispatch: would an arrival offered at
+    /// `now` pass this node's rejection rules *and* join service without
+    /// an Assumption-1 deferral? A `false` verdict is what triggers
+    /// overflow redirection to a sibling replica.
+    pub fn would_accept(&mut self, now: Instant) -> bool {
+        let offered = self.streams.len() + self.pending.len();
+        offered < self.cfg.params.max_requests()
+            && self.admission_headroom() > 0
+            && self.memory_admits(offered + 1, now)
+    }
+
+    /// Hands one arrival to the engine, exactly as [`Self::run`] would at
+    /// the same instant: departures due by now retire first, then the
+    /// request feeds the estimator and enters the admission queue (or is
+    /// rejected). The caller must have advanced the engine to at least
+    /// `a.at` (see [`Self::advance_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.at` is in the engine's future — offering early would
+    /// leak estimator knowledge backwards in time.
+    pub fn offer(&mut self, a: &Arrival) {
+        assert!(
+            a.at <= self.t,
+            "arrival at {} offered before the engine reached it (now {})",
+            a.at,
+            self.t
+        );
+        self.process_due_departures();
+        self.ingest(a);
+    }
+
+    /// Runs all internal work — services, departures, node-local
+    /// admissions — until the clock reaches `horizon`. `horizon` plays
+    /// the role of the next trace arrival in [`Self::run`]'s loop, so a
+    /// subsequent [`Self::offer`] at `horizon` lands exactly where `run`
+    /// would have ingested it.
+    pub fn advance_to(&mut self, horizon: Instant) {
+        while self.t < horizon {
+            self.process_due_departures();
+            match self.step_body(Some(horizon)) {
+                Step::Progressed => {}
+                Step::Drained => {
+                    self.t = horizon;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drains the engine — no further arrivals will be offered — and
+    /// returns the run measurements, exactly as [`Self::run`] does after
+    /// its trace is exhausted.
+    #[must_use]
+    pub fn finish(mut self) -> DiskRunStats {
+        loop {
+            self.process_due_departures();
+            match self.step_body(None) {
+                Step::Progressed => {}
+                Step::Drained => break,
+            }
+        }
         self.finalize()
     }
 
@@ -555,9 +720,9 @@ impl DiskEngine {
 
     // ---------- arrival / admission ----------
 
-    fn ingest(&mut self, a: &Arrival, next_id: &mut u64) {
-        let id = RequestId::new(*next_id);
-        *next_id += 1;
+    fn ingest(&mut self, a: &Arrival) {
+        let id = RequestId::new(self.next_request_id);
+        self.next_request_id += 1;
         // Every arrival feeds the estimator, admitted or not.
         match &mut self.scheme {
             SchemeState::Dynamic(ctl) => ctl.note_arrival(a.at),
@@ -608,8 +773,15 @@ impl DiskEngine {
         let Some(budget) = self.cfg.memory_budget else {
             return true;
         };
+        self.reservation_memory(prospective_n, now) <= budget
+    }
+
+    /// The per-scheme reservation-model memory need at `prospective_n`
+    /// streams (the quantity [`Self::memory_admits`] compares against the
+    /// budget). Factored out so cluster dispatch can rank replicas by it.
+    fn reservation_memory(&mut self, prospective_n: usize, now: Instant) -> Bits {
         let period = self.period_estimate();
-        let needed = match &mut self.scheme {
+        match &mut self.scheme {
             SchemeState::Static => memory::min_memory_static(&self.cfg.params, prospective_n),
             SchemeState::Naive(log) => {
                 let k = log.k_log(now, period) + self.cfg.params.alpha as usize;
@@ -620,8 +792,7 @@ impl DiskEngine {
                 let (k, _) = ctl.estimate_k(now, period);
                 memory::min_memory_dynamic(&self.cfg.params, ctl.table(), prospective_n, k)
             }
-        };
-        needed <= budget
+        }
     }
 
     fn try_admissions(&mut self) {
@@ -1542,6 +1713,35 @@ mod tests {
             assert_eq!(stats.admitted, 12, "{method}");
             assert_eq!(stats.underflows, 0, "{method}");
             assert_eq!(stats.il_samples.len(), 12, "{method}");
+        }
+    }
+
+    #[test]
+    fn steppable_api_is_bit_identical_to_run() {
+        // Bursty enough to exercise deferrals, mid-cycle insertions, and
+        // idle jumps; the steppable drive must reproduce `run` bit-exactly
+        // (this is the contract the cluster front end builds on).
+        let trace: Vec<Arrival> = (0..25)
+            .map(|i| arrival(f64::from(i) * 0.35, 120.0 + f64::from(i % 7) * 11.0))
+            .collect();
+        for method in SchedulingMethod::paper_methods() {
+            for scheme in [
+                SchemeKind::Dynamic,
+                SchemeKind::Static,
+                SchemeKind::NaiveDynamic,
+            ] {
+                let cfg = EngineConfig::paper(method, scheme);
+                let by_run = DiskEngine::new(cfg.clone())
+                    .expect("paper config is valid")
+                    .run(&trace);
+                let mut eng = DiskEngine::new(cfg).expect("paper config is valid");
+                for a in &trace {
+                    eng.advance_to(a.at);
+                    eng.offer(a);
+                }
+                let by_step = eng.finish();
+                assert_eq!(by_run, by_step, "{method}/{scheme:?}");
+            }
         }
     }
 

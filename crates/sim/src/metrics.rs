@@ -28,7 +28,7 @@ pub struct AuditRecord {
 }
 
 /// Everything one buffer-level run measures.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DiskRunStats {
     /// Per-admitted-request latency samples.
     pub il_samples: Vec<IlSample>,

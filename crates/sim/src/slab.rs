@@ -164,13 +164,15 @@ impl<T> Slab<T> {
 impl<T> Index<SlotId> for Slab<T> {
     type Output = T;
     fn index(&self, id: SlotId) -> &T {
-        self.get(id).expect("stale SlotId")
+        self.get(id)
+            .unwrap_or_else(|| panic!("stale SlotId {id:?}: slot was freed or generation advanced"))
     }
 }
 
 impl<T> IndexMut<SlotId> for Slab<T> {
     fn index_mut(&mut self, id: SlotId) -> &mut T {
-        self.get_mut(id).expect("stale SlotId")
+        self.get_mut(id)
+            .unwrap_or_else(|| panic!("stale SlotId {id:?}: slot was freed or generation advanced"))
     }
 }
 

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod multi;
 pub mod persist;
 pub mod poisson;
 pub mod profile;
@@ -31,6 +32,7 @@ pub mod vcr;
 pub mod zipf;
 
 pub use catalog::Catalog;
+pub use multi::{multi_movie, MultiMovieConfig};
 pub use profile::RateProfile;
 pub use trace::{generate, Arrival, Workload, WorkloadConfig};
 pub use vcr::{with_vcr_actions, VcrConfig};
