@@ -1,10 +1,13 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--trace <file.jsonl>] [--summary-json <file>]
-//!       [--metrics <file.prom>] [--metrics-addr <host:port>] <experiment>...
+//! repro [--quick] [--trace <file.jsonl>] [--flight <file.jsonl>]
+//!       [--summary-json <file>] [--metrics <file.prom>]
+//!       [--metrics-addr <host:port>] <experiment>...
 //! repro [--quick] all
 //! repro bench [--smoke] [--out <file>]
+//! repro cluster [--smoke] [--trace <file.jsonl>] [--out <file>]
+//! repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]
 //! repro --list
 //! ```
 //!
@@ -14,13 +17,22 @@
 //!
 //! Observability (simulated experiments only; analytic ones emit nothing):
 //!
-//! * `--trace <file.jsonl>` — records every engine event and writes them
-//!   as JSON Lines. Each experiment contributes a marker line
-//!   `{"kind":"experiment","name":...}` followed by its events.
+//! * `--trace <file.jsonl>` — records every engine event, spans
+//!   included, and writes them as JSON Lines. Each experiment
+//!   contributes a marker line `{"kind":"experiment","name":...}`
+//!   followed by its events. Feed the file to `repro trace-analyze`.
+//! * `--flight <file.jsonl>` — arms a bounded flight recorder teed
+//!   behind the trace recorder; anomalies (underflow, rejection, parked
+//!   span, a failed `--check` baseline gate) dump the ring to the file
+//!   as `{"kind":"flight_dump",...}` sections. Also accepted by
+//!   `repro bench` and `repro cluster`.
 //! * `--summary-json <file>` — writes one JSON document with, per
-//!   experiment, the host wall-clock time, the number of events the
-//!   recorder dropped, per-kind event counters (admitted / deferred /
-//!   rejected / underflow, …), and the recorder's histograms.
+//!   experiment, the host wall-clock time, the events and span records
+//!   the recorder dropped (`events_dropped` / `spans_dropped`), per-kind
+//!   event counters (admitted / deferred / rejected / underflow, …), and
+//!   the recorder's histograms. The same drop totals feed the shared
+//!   metrics registry as `vod_events_dropped_total` /
+//!   `vod_spans_dropped_total` when `--metrics` is active.
 //! * `--metrics <file.prom>` — attaches one shared metrics registry to
 //!   every simulated experiment and writes its final state in Prometheus
 //!   text exposition format.
@@ -32,6 +44,15 @@
 //! performance matrix instead, writing `BENCH_perf.json` (see
 //! `EXPERIMENTS.md`, “Benchmark methodology”). `--smoke` is the CI-sized
 //! subset; `--out` overrides the output path.
+//!
+//! `repro cluster --trace <file.jsonl>` runs the matrix sequentially with
+//! a per-cell span recorder and writes `{"kind":"cluster_cell"}` sections
+//! (lifecycle spans + admission outcomes; per-cycle detail gated off so
+//! nothing is dropped). `repro trace-analyze` consumes either trace
+//! flavour: schema check, span trees, per-stream latency breakdowns,
+//! top-k slowest traces, and the invariant audit (admission spans vs
+//! admitted counts, hop chains vs redirection counters). It exits
+//! non-zero on schema errors or audit violations.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -41,10 +62,14 @@ use std::time::Instant;
 use vod_analysis::{write_csv, Table};
 use vod_bench::{
     check_against_baseline, check_cluster_against_baseline, fig10, fig11, fig12, fig13, fig14,
-    fig6, fig7, fig8, fig9, gss_g, merge_cluster_into_baseline, run_bench, run_cluster_bench, tab3,
-    tab4, tab5, vcr, BenchMode, ClusterBenchMode, Scale,
+    fig6, fig7, fig8, fig9, gss_g, merge_cluster_into_baseline, run_bench, run_cluster_bench,
+    run_cluster_bench_traced, tab3, tab4, tab5, traceview, vcr, BenchMode, ClusterBenchMode, Scale,
 };
-use vod_obs::{json, prom, Metrics, MetricsRegistry, MetricsServer, Obs, RecorderSink};
+use vod_obs::metrics::{CTR_EVENTS_DROPPED, CTR_SPANS_DROPPED};
+use vod_obs::{
+    json, prom, FlightRecorder, Metrics, MetricsRegistry, MetricsServer, Obs, RecorderSink, Sink,
+    TeeSink,
+};
 
 const EXPERIMENTS: [(&str, &str); 14] = [
     ("tab3", "disk profile constants and derived N (analysis)"),
@@ -95,15 +120,20 @@ fn run_experiment(name: &str, scale: Scale, obs: &Obs) -> Option<Vec<Table>> {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--quick] [--trace <file.jsonl>] [--summary-json <file>] \
-         [--metrics <file.prom>] [--metrics-addr <host:port>] \
+        "usage: repro [--quick] [--trace <file.jsonl>] [--flight <file.jsonl>] \
+         [--summary-json <file>] [--metrics <file.prom>] [--metrics-addr <host:port>] \
          <experiment>... | all | --list"
     );
-    eprintln!("       repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>]");
+    eprintln!(
+        "       repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>] \
+         [--flight <file.jsonl>]"
+    );
     eprintln!(
         "       repro cluster [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>] \
-         [--merge-baseline <file>] [--metrics <file.prom>]"
+         [--merge-baseline <file>] [--metrics <file.prom>] [--trace <file.jsonl>] \
+         [--flight <file.jsonl>]"
     );
+    eprintln!("       repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<6} {desc}");
@@ -112,6 +142,102 @@ fn print_usage() {
     eprintln!(
         "  cluster  cluster_scaling matrix (nodes x placement x dispatch) -> BENCH_cluster.json"
     );
+    eprintln!("  trace-analyze  span trees, latency breakdowns, invariant audit of a trace");
+}
+
+/// Arms a flight recorder that appends anomaly dumps to `path`. Shared
+/// by every subcommand that accepts `--flight`.
+fn arm_flight(path: &Path) -> Arc<FlightRecorder> {
+    eprintln!("flight: armed, dumps append to {}", path.display());
+    Arc::new(FlightRecorder::new().with_path(path))
+}
+
+/// Reports what the flight recorder saw once a run is over.
+fn flight_report(flight: &FlightRecorder) {
+    eprintln!(
+        "flight: {} events seen, {} anomalies, {} dump(s) written",
+        flight.seen(),
+        flight.anomalies(),
+        flight.dumps_written(),
+    );
+}
+
+/// `repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]`: the
+/// offline half of the tracing pipeline. Always validates the JSONL
+/// schema; unless `--schema-only`, also reconstructs span trees, prints
+/// per-stream latency breakdowns and the top-k slowest traces, and runs
+/// the invariant audit. Non-zero exit on schema errors or violations.
+fn trace_analyze_main(args: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut schema_only = false;
+    let mut top_k = 3usize;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--schema-only" => schema_only = true,
+            "--top" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(k) = parsed else {
+                    eprintln!("--top requires a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                top_k = k;
+            }
+            other if !other.starts_with("--") && file.is_none() => {
+                file = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown trace-analyze option `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("trace-analyze requires a trace file argument");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = match traceview::check_schema(&src) {
+        Ok(s) => s,
+        Err(errors) => {
+            for e in errors.iter().take(20) {
+                eprintln!("schema: {e}");
+            }
+            if errors.len() > 20 {
+                eprintln!("schema: ... and {} more", errors.len() - 20);
+            }
+            eprintln!("[trace-analyze: schema check FAILED on {}]", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "schema OK: {} lines ({} markers, {} events, {} span records)",
+        schema.lines, schema.markers, schema.events, schema.span_events
+    );
+    if schema_only {
+        return ExitCode::SUCCESS;
+    }
+    let report = match traceview::analyze(&src, top_k) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", traceview::render(&report));
+    if report.audit_passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// `repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>]`:
@@ -120,6 +246,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut mode = BenchMode::Full;
     let mut out = PathBuf::from("BENCH_perf.json");
     let mut check: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -139,6 +266,13 @@ fn bench_main(args: &[String]) -> ExitCode {
                 };
                 check = Some(PathBuf::from(p));
             }
+            "--flight" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--flight requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                flight_path = Some(PathBuf::from(p));
+            }
             "--jobs" => {
                 let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
                 let Some(n) = parsed.filter(|&n| n > 0) else {
@@ -154,6 +288,10 @@ fn bench_main(args: &[String]) -> ExitCode {
             }
         }
     }
+    // `run_bench` drives its engines unobserved (the matrix measures the
+    // bare hot loop), so the flight ring stays empty here; the recorder
+    // still documents a failed baseline gate with a dump marker.
+    let flight = flight_path.as_deref().map(arm_flight);
     let report = run_bench(mode, jobs, &|line| eprintln!("{line}"));
     for c in &report.cells {
         println!(
@@ -196,6 +334,10 @@ fn bench_main(args: &[String]) -> ExitCode {
                     report.mode.label(),
                     baseline_path.display()
                 );
+                if let Some(f) = &flight {
+                    f.trigger("baseline_gate_failure");
+                    flight_report(f);
+                }
                 ExitCode::FAILURE
             }
         };
@@ -212,6 +354,9 @@ fn bench_main(args: &[String]) -> ExitCode {
         report.total_wall_clock_s,
         out.display()
     );
+    if let Some(f) = &flight {
+        flight_report(f);
+    }
     ExitCode::SUCCESS
 }
 
@@ -231,11 +376,27 @@ fn cluster_main(args: &[String]) -> ExitCode {
     let mut check: Option<PathBuf> = None;
     let mut merge: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--smoke" => mode = ClusterBenchMode::Smoke,
+            "--trace" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--trace requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(PathBuf::from(p));
+            }
+            "--flight" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--flight requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                flight_path = Some(PathBuf::from(p));
+            }
             "--out" => {
                 let Some(p) = iter.next() else {
                     eprintln!("--out requires a file argument");
@@ -281,8 +442,28 @@ fn cluster_main(args: &[String]) -> ExitCode {
     }
 
     let registry = Arc::new(MetricsRegistry::new());
-    let obs = Obs::null().with_metrics(Metrics::new(Arc::clone(&registry)));
-    let report = run_cluster_bench(mode, jobs, &obs, &|line| eprintln!("{line}"));
+    let flight = flight_path.as_deref().map(arm_flight);
+    let obs = match &flight {
+        Some(f) => Obs::new(Arc::clone(f) as Arc<dyn Sink>),
+        None => Obs::null(),
+    }
+    .with_metrics(Metrics::new(Arc::clone(&registry)));
+    let report = if let Some(trace_file) = &trace_path {
+        if jobs > 1 {
+            eprintln!("note: --trace runs the matrix sequentially; --jobs ignored");
+        }
+        let mut trace_out = String::new();
+        let report =
+            run_cluster_bench_traced(mode, &obs, &mut trace_out, &|line| eprintln!("{line}"));
+        if let Err(e) = std::fs::write(trace_file, trace_out) {
+            eprintln!("error: could not write trace {}: {e}", trace_file.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[cluster trace -> {}]", trace_file.display());
+        report
+    } else {
+        run_cluster_bench(mode, jobs, &obs, &|line| eprintln!("{line}"))
+    };
     for c in &report.cells {
         println!(
             "{:>2} nodes  {:<14} {:<13} {:>6} arrivals  {:>5} deferred  {:>5} redirected  \
@@ -361,6 +542,10 @@ fn cluster_main(args: &[String]) -> ExitCode {
                     report.mode.label(),
                     baseline_path.display()
                 );
+                if let Some(f) = &flight {
+                    f.trigger("baseline_gate_failure");
+                    flight_report(f);
+                }
                 ExitCode::FAILURE
             }
         };
@@ -377,6 +562,9 @@ fn cluster_main(args: &[String]) -> ExitCode {
         report.total_wall_clock_s,
         out.display()
     );
+    if let Some(f) = &flight {
+        flight_report(f);
+    }
     ExitCode::SUCCESS
 }
 
@@ -392,9 +580,13 @@ fn main() -> ExitCode {
     if args[0] == "cluster" {
         return cluster_main(&args[1..]);
     }
+    if args[0] == "trace-analyze" {
+        return trace_analyze_main(&args[1..]);
+    }
     let mut scale = Scale::Full;
     let mut names: Vec<String> = Vec::new();
     let mut trace_path: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
     let mut summary_path: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
     let mut metrics_addr: Option<String> = None;
@@ -412,6 +604,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 trace_path = Some(PathBuf::from(p));
+            }
+            "--flight" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--flight requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                flight_path = Some(PathBuf::from(p));
             }
             "--summary-json" => {
                 let Some(p) = iter.next() else {
@@ -468,6 +667,7 @@ fn main() -> ExitCode {
         _ => None,
     };
 
+    let flight = flight_path.as_deref().map(arm_flight);
     let observing = trace_path.is_some() || summary_path.is_some();
     let mut trace_out = String::new();
     let mut summary_entries = json::Array::new();
@@ -487,9 +687,14 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        let obs = match &sink {
-            Some(s) => Obs::new(Arc::clone(s) as Arc<dyn vod_obs::Sink>),
-            None => Obs::from_env(),
+        let obs = match (&sink, &flight) {
+            (Some(s), Some(f)) => Obs::new(Arc::new(TeeSink::new(
+                Arc::clone(s) as Arc<dyn Sink>,
+                Arc::clone(f) as Arc<dyn Sink>,
+            ))),
+            (Some(s), None) => Obs::new(Arc::clone(s) as Arc<dyn Sink>),
+            (None, Some(f)) if is_simulated(&name) => Obs::new(Arc::clone(f) as Arc<dyn Sink>),
+            _ => Obs::from_env(),
         };
         let obs = if is_simulated(&name) {
             obs.with_metrics(metrics.clone())
@@ -530,15 +735,23 @@ fn main() -> ExitCode {
                 marker.str("kind", "experiment");
                 marker.str("name", &name);
                 marker.uint("events", snap.events().len() as u64);
-                marker.uint("dropped", snap.dropped());
+                marker.uint("events_dropped", snap.events_dropped());
+                marker.uint("spans_dropped", snap.spans_dropped());
                 trace_out.push_str(&marker.finish());
                 trace_out.push('\n');
                 trace_out.push_str(&snap.export_jsonl());
             }
+            // The drop totals are first-class series: whatever registry
+            // is attached (file dump, live scrape) reports them.
+            metrics
+                .counter(CTR_EVENTS_DROPPED)
+                .add(snap.events_dropped());
+            metrics.counter(CTR_SPANS_DROPPED).add(snap.spans_dropped());
             let mut entry = json::Object::new();
             entry.str("name", &name);
             entry.num("wall_clock_s", elapsed.as_secs_f64());
-            entry.uint("events_dropped", snap.dropped());
+            entry.uint("events_dropped", snap.events_dropped());
+            entry.uint("spans_dropped", snap.spans_dropped());
             entry.raw("observed", &snap.to_json());
             summary_entries.raw(&entry.finish());
         } else if summary_path.is_some() {
@@ -546,6 +759,7 @@ fn main() -> ExitCode {
             entry.str("name", &name);
             entry.num("wall_clock_s", elapsed.as_secs_f64());
             entry.uint("events_dropped", 0);
+            entry.uint("spans_dropped", 0);
             entry.null("observed"); // analytic: no engine runs, no events
             summary_entries.raw(&entry.finish());
         }
@@ -580,6 +794,9 @@ fn main() -> ExitCode {
             eprintln!("error: could not write summary {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(f) = &flight {
+        flight_report(f);
     }
     ExitCode::SUCCESS
 }

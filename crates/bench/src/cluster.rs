@@ -318,7 +318,16 @@ fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec) -> ClusterConfig {
 
 /// Runs one cell: generates the cell's trace (arrivals scale with the
 /// node count) and drives a fresh cluster over it.
-fn run_cluster_cell(mode: ClusterBenchMode, spec: ClusterCellSpec, obs: &Obs) -> ClusterCellResult {
+///
+/// `lifecycle_trace_only` is the traced runner's knob: keep first-fill
+/// service spans but skip steady-state per-cycle ones (emission-only —
+/// see [`Cluster::set_per_cycle_tracing`]).
+fn run_cluster_cell(
+    mode: ClusterBenchMode,
+    spec: ClusterCellSpec,
+    obs: &Obs,
+    lifecycle_trace_only: bool,
+) -> ClusterCellResult {
     let mut wl_cfg = MultiMovieConfig::paper_cluster(
         mode.movies(),
         0.271,
@@ -340,7 +349,7 @@ fn run_cluster_cell(mode: ClusterBenchMode, spec: ClusterCellSpec, obs: &Obs) ->
 
     let cfg = cell_config(mode, spec);
     let t0 = WallInstant::now();
-    let cluster = Cluster::with_observer(cfg.clone(), obs.clone()).unwrap_or_else(|e| {
+    let mut cluster = Cluster::with_observer(cfg.clone(), obs.clone()).unwrap_or_else(|e| {
         panic!(
             "cluster bench cell ({} nodes, {}/{}) must validate: {e}",
             spec.nodes,
@@ -348,6 +357,9 @@ fn run_cluster_cell(mode: ClusterBenchMode, spec: ClusterCellSpec, obs: &Obs) ->
             spec.dispatch.label()
         )
     });
+    if lifecycle_trace_only {
+        cluster.set_per_cycle_tracing(false);
+    }
     let report = cluster.run(&wl.arrivals);
     let wall_clock_s = t0.elapsed().as_secs_f64();
 
@@ -438,7 +450,7 @@ pub fn run_cluster_bench(
             .enumerate()
             .map(|(i, &spec)| {
                 announce(i, spec);
-                run_cluster_cell(mode, spec, obs)
+                run_cluster_cell(mode, spec, obs, false)
             })
             .collect()
     } else {
@@ -453,7 +465,7 @@ pub fn run_cluster_bench(
                         break;
                     }
                     announce(i, specs[i]);
-                    let result = run_cluster_cell(mode, specs[i], obs);
+                    let result = run_cluster_cell(mode, specs[i], obs, false);
                     *slots[i]
                         .lock()
                         .expect("cluster bench slot mutex poisoned: a worker panicked") =
@@ -471,6 +483,106 @@ pub fn run_cluster_bench(
             })
             .collect()
     };
+
+    ClusterBenchReport {
+        mode,
+        seed: mode.seed(),
+        cells,
+        total_wall_clock_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the cluster matrix with span tracing on, appending one traced
+/// section per cell to `trace_out` as JSONL:
+///
+/// ```text
+/// {"kind":"cluster_cell","nodes":..,"placement":..,"dispatch":..}
+/// <event lines of the cell>
+/// {"kind":"cluster_summary","redirected":..,"per_node":[..],..}
+/// ```
+///
+/// The `cluster_summary` marker repeats the front end's deterministic
+/// redirection counters so `repro trace-analyze` can reconcile them
+/// against the hop spans in the section. Cells run sequentially (each
+/// gets a private recorder, so there is no cross-cell interleaving);
+/// metrics from `base_obs` are shared across cells as in
+/// [`run_cluster_bench`].
+#[must_use]
+pub fn run_cluster_bench_traced(
+    mode: ClusterBenchMode,
+    base_obs: &Obs,
+    trace_out: &mut String,
+    progress: &(dyn Fn(&str) + Sync),
+) -> ClusterBenchReport {
+    let specs = mode.cells();
+    let total = specs.len();
+    let t0 = WallInstant::now();
+
+    let mut cells = Vec::with_capacity(total);
+    for (i, &spec) in specs.iter().enumerate() {
+        progress(&format!(
+            "cluster [{}/{}] {} nodes / {} / {} (traced)",
+            i + 1,
+            total,
+            spec.nodes,
+            spec.placement.label(),
+            spec.dispatch.label(),
+        ));
+        // Span lifecycles plus the admission-outcome events the audit
+        // reconciles against; per-cycle telemetry (services, buffer
+        // events, pool occupancy) stays off so a multi-hour cell fits
+        // the recorder's capacity bound with nothing dropped.
+        let recorder = std::sync::Arc::new(vod_obs::RecorderSink::new().with_kinds(&[
+            vod_obs::EventKind::SpanStart,
+            vod_obs::EventKind::SpanAnnotate,
+            vod_obs::EventKind::SpanEnd,
+            vod_obs::EventKind::RequestAdmitted,
+            vod_obs::EventKind::RequestDeferred,
+            vod_obs::EventKind::RequestRejected,
+            vod_obs::EventKind::Underflow,
+        ]));
+        let cell_sink: std::sync::Arc<dyn vod_obs::Sink> = match base_obs.sink() {
+            // Keep the caller's sink (a flight recorder, say) listening
+            // alongside the per-cell recorder.
+            Some(base) => std::sync::Arc::new(vod_obs::TeeSink::new(
+                std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn vod_obs::Sink>,
+                base,
+            )),
+            None => std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn vod_obs::Sink>,
+        };
+        let obs = Obs::new(cell_sink).with_metrics(base_obs.metrics().clone());
+        let cell = run_cluster_cell(mode, spec, &obs, true);
+        let snap = recorder.snapshot();
+
+        let mut header = Object::new();
+        header.str("kind", "cluster_cell");
+        header.uint("nodes", spec.nodes as u64);
+        header.str("placement", spec.placement.label());
+        header.str("dispatch", spec.dispatch.label());
+        trace_out.push_str(&header.finish());
+        trace_out.push('\n');
+        trace_out.push_str(&snap.export_jsonl());
+
+        let mut summary = Object::new();
+        summary.str("kind", "cluster_summary");
+        summary.uint("redirected", cell.redirected);
+        summary.uint("events", snap.events().len() as u64);
+        summary.uint("events_dropped", snap.events_dropped());
+        summary.uint("spans_dropped", snap.spans_dropped());
+        let mut nodes = Array::new();
+        for n in &cell.per_node {
+            let mut no = Object::new();
+            no.uint("node", n.node as u64);
+            no.uint("redirected_in", n.redirected_in);
+            no.uint("redirected_out", n.redirected_out);
+            nodes.raw(&no.finish());
+        }
+        summary.raw("per_node", &nodes.finish());
+        trace_out.push_str(&summary.finish());
+        trace_out.push('\n');
+
+        cells.push(cell);
+    }
 
     ClusterBenchReport {
         mode,
@@ -526,6 +638,42 @@ mod tests {
         let text = prom::render(&registry.snapshot());
         assert!(text.contains("vod_cluster_node0_deferred_total"));
         assert!(text.contains("vod_cluster_dispatched_total"));
+    }
+
+    /// Acceptance: the traced cluster matrix produces the identical
+    /// deterministic counters as the untraced run, and its trace passes
+    /// the `trace-analyze` invariant audit (hop spans reconcile with
+    /// the redirection counters, span lifecycles balance).
+    #[test]
+    fn traced_smoke_matrix_is_identical_and_audits_clean() {
+        let obs = Obs::null();
+        let plain = run_cluster_bench(ClusterBenchMode::Smoke, 1, &obs, &|_| {});
+        let mut trace = String::new();
+        let traced = run_cluster_bench_traced(ClusterBenchMode::Smoke, &obs, &mut trace, &|_| {});
+        for (a, b) in plain.cells.iter().zip(&traced.cells) {
+            assert_eq!(a.dispatched, b.dispatched);
+            assert_eq!(a.admitted, b.admitted);
+            assert_eq!(a.deferred, b.deferred);
+            assert_eq!(a.rejected, b.rejected);
+            assert_eq!(a.redirected, b.redirected);
+            assert_eq!(a.overflow_queued, b.overflow_queued);
+            assert_eq!(a.underflows, b.underflows);
+            assert_eq!(a.peak_memory_mib.to_bits(), b.peak_memory_mib.to_bits());
+        }
+        crate::traceview::check_schema(&trace).expect("trace schema must hold");
+        let report = crate::traceview::analyze(&trace, 3).expect("trace must parse");
+        assert_eq!(report.sections.len(), 2, "one section per smoke cell");
+        assert!(
+            report.audit_passed(),
+            "invariant audit: {:?}",
+            report
+                .sections
+                .iter()
+                .flat_map(|s| &s.violations)
+                .collect::<Vec<_>>()
+        );
+        // The smoke matrix exercises redirection, so hops must appear.
+        assert!(traced.cells.iter().any(|c| c.redirected > 0));
     }
 
     /// The `--jobs` acceptance bar, cluster edition: any worker count

@@ -13,11 +13,15 @@ pub mod cluster;
 pub mod experiments;
 pub mod perf;
 pub mod scale;
+pub mod traceview;
 
 pub use baseline::{
     check_against_baseline, check_cluster_against_baseline, merge_cluster_into_baseline,
 };
-pub use cluster::{run_cluster_bench, ClusterBenchMode, ClusterBenchReport, ClusterCellResult};
+pub use cluster::{
+    run_cluster_bench, run_cluster_bench_traced, ClusterBenchMode, ClusterBenchReport,
+    ClusterCellResult,
+};
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr,
 };

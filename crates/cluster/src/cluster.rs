@@ -27,6 +27,10 @@ use vod_obs::metrics::{
     per_node, CTR_CLUSTER_DISPATCHED, CTR_CLUSTER_QUEUED, CTR_CLUSTER_REDIRECTED,
     GAUGE_CLUSTER_IMBALANCE, GAUGE_CLUSTER_MEM_PEAK, GAUGE_CLUSTER_NODES,
 };
+use vod_obs::span::{
+    mix64, AnnoValue, SpanId, SpanKind, SpanStatus, TraceId, SEQ_DISPATCH, SEQ_HOP_DISPATCH,
+    SEQ_HOP_RETRY, SEQ_RETRY,
+};
 use vod_obs::Obs;
 use vod_sim::{DiskEngine, EngineConfig};
 use vod_types::{ConfigError, Instant};
@@ -70,7 +74,13 @@ struct Parked {
     arrival: Arrival,
     /// Preference order captured at dispatch time (primary first).
     candidates: Vec<usize>,
+    /// The lifecycle trace minted at dispatch (observability only).
+    trace: TraceId,
 }
+
+/// Scope salt separating front-end-minted request traces from the
+/// per-node engine scopes derived under the same cluster seed.
+const CLUSTER_TRACE_SCOPE: u64 = 0x0063_6c75_7374; // "clust"
 
 /// The cluster front end. Build with [`Cluster::new`] /
 /// [`Cluster::with_observer`], then consume with [`Cluster::run`].
@@ -111,9 +121,14 @@ impl Cluster {
         let popularity = Zipf::new(cfg.movies, cfg.movie_theta)?;
         let placement = Placement::build(cfg.placement, popularity.probabilities(), cfg.nodes)?;
         let mut nodes = Vec::with_capacity(cfg.nodes);
-        for _ in 0..cfg.nodes {
+        for i in 0..cfg.nodes {
+            let mut engine = DiskEngine::with_observer(cfg.engine.clone(), obs.clone())?;
+            // Distinct trace scope per node: engine-scoped spans (cycle
+            // spans) from different nodes never collide in the shared
+            // sink. Observability only.
+            engine.set_trace_scope(cfg.seed ^ mix64(i as u64));
             nodes.push(Node {
-                engine: DiskEngine::with_observer(cfg.engine.clone(), obs.clone())?,
+                engine,
                 dispatched: 0,
                 redirected_in: 0,
                 redirected_out: 0,
@@ -131,6 +146,17 @@ impl Cluster {
             redirected: 0,
             overflow_queued: 0,
         })
+    }
+
+    /// Forwards [`vod_sim::DiskEngine::set_per_cycle_tracing`] to every
+    /// node: with `false`, traced runs keep first-fill service spans but
+    /// skip steady-state per-cycle ones (the cluster bench's trace mode —
+    /// full per-cycle detail would swamp a bounded recorder on long
+    /// horizons). Emission-only; results are identical either way.
+    pub fn set_per_cycle_tracing(&mut self, on: bool) {
+        for node in &mut self.nodes {
+            node.engine.set_per_cycle_tracing(on);
+        }
     }
 
     /// Runs the cluster over a time-sorted trace, draining nodes
@@ -180,6 +206,11 @@ impl Cluster {
     /// parking cluster-wide when every replica is saturated.
     fn dispatch(&mut self, a: &Arrival) {
         self.dispatched += 1;
+        // The request's cluster-wide trace: purely derived from (seed,
+        // dispatch index), so the id sequence never depends on whether a
+        // sink is attached. The same trace follows the request through
+        // hops, parking, and the node engine's own spans.
+        let trace = TraceId::derive(self.cfg.seed ^ CLUSTER_TRACE_SCOPE, self.dispatched - 1);
         let replicas = self.placement.replicas_of(a.video).to_vec();
         assert!(
             !replicas.is_empty(),
@@ -189,31 +220,86 @@ impl Cluster {
         );
         if replicas.len() == 1 {
             let ni = replicas[0];
+            self.trace_dispatch(a.at, trace, ni);
             self.nodes[ni].dispatched += 1;
-            self.nodes[ni].engine.offer(a);
+            self.nodes[ni].engine.offer_traced(a, trace);
             return;
         }
         let order = self.preference_order(&replicas, a.at);
         let primary = order[0];
         for (rank, &ni) in order.iter().enumerate() {
             if self.nodes[ni].engine.would_accept(a.at) {
+                self.trace_dispatch(a.at, trace, ni);
                 if rank > 0 {
                     self.redirected += 1;
                     self.nodes[primary].redirected_out += 1;
                     self.nodes[ni].redirected_in += 1;
+                    self.trace_hop(a.at, trace, SEQ_HOP_DISPATCH, SEQ_DISPATCH, primary, ni);
                 }
                 self.nodes[ni].dispatched += 1;
-                self.nodes[ni].engine.offer(a);
+                self.nodes[ni].engine.offer_traced(a, trace);
                 return;
             }
         }
         // Every replica would defer or reject: queue cluster-wide and
         // retry at the next dispatch instant.
         self.overflow_queued += 1;
+        if self.obs.tracing() {
+            let sp = SpanId::derive(trace, SEQ_DISPATCH);
+            self.obs
+                .span_start(a.at, trace, sp, None, SpanKind::Dispatch);
+            self.obs.span_annotate(
+                a.at,
+                trace,
+                sp,
+                "candidates",
+                AnnoValue::U64(order.len() as u64),
+            );
+            // `Parked` is an anomaly trigger for the flight recorder.
+            self.obs.span_end(a.at, trace, sp, SpanStatus::Parked);
+        }
         self.queue.push_back(Parked {
             arrival: *a,
             candidates: order,
+            trace,
         });
+    }
+
+    /// Emits the (instantaneous) dispatch span: the routing decision
+    /// that sent the arrival to `node`.
+    fn trace_dispatch(&self, at: Instant, trace: TraceId, node: usize) {
+        if self.obs.tracing() {
+            let sp = SpanId::derive(trace, SEQ_DISPATCH);
+            self.obs.span_start(at, trace, sp, None, SpanKind::Dispatch);
+            self.obs
+                .span_annotate(at, trace, sp, "node", AnnoValue::U64(node as u64));
+            self.obs.span_end(at, trace, sp, SpanStatus::Ok);
+        }
+    }
+
+    /// Emits one redirection-hop span (exactly one per counted redirect,
+    /// so the analyzer can reconcile hop spans against the
+    /// `redirected_in`/`redirected_out` counters).
+    fn trace_hop(
+        &self,
+        at: Instant,
+        trace: TraceId,
+        seq: u64,
+        parent_seq: u64,
+        from: usize,
+        to: usize,
+    ) {
+        if self.obs.tracing() {
+            let sp = SpanId::derive(trace, seq);
+            let parent = SpanId::derive(trace, parent_seq);
+            self.obs
+                .span_start(at, trace, sp, Some(parent), SpanKind::Hop);
+            self.obs
+                .span_annotate(at, trace, sp, "from_node", AnnoValue::U64(from as u64));
+            self.obs
+                .span_annotate(at, trace, sp, "to_node", AnnoValue::U64(to as u64));
+            self.obs.span_end(at, trace, sp, SpanStatus::Ok);
+        }
     }
 
     /// The policy's preference order over the replica set (primary
@@ -263,13 +349,31 @@ impl Cluster {
                 return;
             };
             let head = self.queue.pop_front().expect("front exists");
+            if self.obs.tracing() {
+                let sp = SpanId::derive(head.trace, SEQ_RETRY);
+                self.obs
+                    .span_start(now, head.trace, sp, None, SpanKind::Dispatch);
+                self.obs
+                    .span_annotate(now, head.trace, sp, "node", AnnoValue::U64(target as u64));
+                self.obs.span_end(now, head.trace, sp, SpanStatus::Ok);
+            }
             if target != head.candidates[0] {
                 self.redirected += 1;
                 self.nodes[head.candidates[0]].redirected_out += 1;
                 self.nodes[target].redirected_in += 1;
+                self.trace_hop(
+                    now,
+                    head.trace,
+                    SEQ_HOP_RETRY,
+                    SEQ_RETRY,
+                    head.candidates[0],
+                    target,
+                );
             }
             self.nodes[target].dispatched += 1;
-            self.nodes[target].engine.offer(&head.arrival);
+            self.nodes[target]
+                .engine
+                .offer_traced(&head.arrival, head.trace);
         }
     }
 
@@ -283,8 +387,24 @@ impl Cluster {
                 .copied()
                 .min_by_key(|&ni| (self.nodes[ni].engine.offered(), ni))
                 .expect("replica candidates are non-empty");
+            if self.obs.tracing() {
+                // A flush is not a counted redirect (no hop span): the
+                // cluster stops routing and hands the wait to the node's
+                // own admission queue.
+                let at = parked.arrival.at;
+                let sp = SpanId::derive(parked.trace, SEQ_RETRY);
+                self.obs
+                    .span_start(at, parked.trace, sp, None, SpanKind::Dispatch);
+                self.obs
+                    .span_annotate(at, parked.trace, sp, "node", AnnoValue::U64(target as u64));
+                self.obs
+                    .span_annotate(at, parked.trace, sp, "flush", AnnoValue::U64(1));
+                self.obs.span_end(at, parked.trace, sp, SpanStatus::Ok);
+            }
             self.nodes[target].dispatched += 1;
-            self.nodes[target].engine.offer(&parked.arrival);
+            self.nodes[target]
+                .engine
+                .offer_traced(&parked.arrival, parked.trace);
         }
     }
 

@@ -39,6 +39,44 @@ pub struct Allocation {
     pub k_log: usize,
 }
 
+/// The limit that currently binds admission (see
+/// [`AdmissionController::binding_constraint`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionConstraint {
+    /// Assumption 1 binds: some in-service buffer was sized for at most
+    /// `bound = min_i(n_i + k_i)` concurrent streams.
+    Assumption1 {
+        /// The binding `min_i(n_i + k_i)`.
+        bound: usize,
+    },
+    /// The disk service bound `N` binds (Assumption 1 is slack or no
+    /// allocation constrains yet).
+    DiskBound {
+        /// `N`, the disk's stream capacity.
+        bound: usize,
+    },
+}
+
+impl AdmissionConstraint {
+    /// The binding stream-count limit.
+    #[must_use]
+    pub fn bound(self) -> usize {
+        match self {
+            AdmissionConstraint::Assumption1 { bound }
+            | AdmissionConstraint::DiskBound { bound } => bound,
+        }
+    }
+
+    /// Stable snake_case label (used in span annotations).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionConstraint::Assumption1 { .. } => "assumption1",
+            AdmissionConstraint::DiskBound { .. } => "disk_bound",
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Record {
     /// `(n_i, k_i)` from the stream's most recent buffer allocation;
@@ -292,6 +330,21 @@ impl AdmissionController {
         self.assumption1_bound().min(n)
     }
 
+    /// Which limit currently binds admission, with its value — the
+    /// payload span annotations attach to admit/defer decisions so a
+    /// trace answers "*which* bound decided this?". (`&mut` only to
+    /// advance the min-aggregate cursor.)
+    #[must_use]
+    pub fn binding_constraint(&mut self) -> AdmissionConstraint {
+        let a1 = self.assumption1_bound();
+        let n = self.params.max_requests();
+        if a1 < n {
+            AdmissionConstraint::Assumption1 { bound: a1 }
+        } else {
+            AdmissionConstraint::DiskBound { bound: n }
+        }
+    }
+
     /// `min_i (n_i + k_i)` over in-service streams with an allocation;
     /// `usize::MAX` when none constrain (Assumption 1 then only leaves the
     /// disk bound `N`). O(1): the minimum is maintained incrementally on
@@ -345,6 +398,30 @@ mod tests {
         assert_eq!(alloc.k_log, 1);
         assert_eq!(alloc.k, 2);
         assert!(c.size_of(alloc).as_f64() > 0.0);
+    }
+
+    #[test]
+    fn binding_constraint_names_the_deciding_bound() {
+        let mut c = controller();
+        let n = c.params().max_requests();
+        // No allocation constrains yet: only the disk bound applies.
+        assert_eq!(
+            c.binding_constraint(),
+            AdmissionConstraint::DiskBound { bound: n }
+        );
+        assert_eq!(c.binding_constraint().label(), "disk_bound");
+
+        // One stream allocated at (n=1, k=2): Assumption 1 binds at 3.
+        let t0 = Instant::ZERO;
+        c.note_arrival(t0);
+        c.admit(r(0)).expect("idle");
+        c.allocate(r(0), t0, PERIOD).expect("admitted");
+        let bc = c.binding_constraint();
+        assert_eq!(bc, AdmissionConstraint::Assumption1 { bound: 3 });
+        assert_eq!(bc.bound(), 3);
+        assert_eq!(bc.label(), "assumption1");
+        // The constraint agrees with the admission bound.
+        assert_eq!(bc.bound(), c.admission_bound());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod scheme;
 pub mod static_scheme;
 pub mod table;
 
-pub use admission::{AdmissionController, Allocation};
+pub use admission::{AdmissionConstraint, AdmissionController, Allocation};
 pub use aggregate::MinMultiset;
 pub use estimator::ArrivalLog;
 pub use multirate::{MultiRateSystem, RateAdaptation};

@@ -5,6 +5,7 @@ use core::fmt;
 use vod_types::{Bits, Instant, RequestId, Seconds};
 
 use crate::json;
+use crate::span::{AnnoValue, SpanId, SpanKind, SpanStatus, TraceId};
 
 /// Why a request was rejected outright (as opposed to deferred).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,11 +61,17 @@ pub enum EventKind {
     Underflow,
     /// The buffer pool reached a new occupancy high-water mark.
     PoolOccupancy,
+    /// A lifecycle span opened (see [`crate::span`]).
+    SpanStart,
+    /// A key/value annotation on an open span.
+    SpanAnnotate,
+    /// A lifecycle span closed.
+    SpanEnd,
 }
 
 impl EventKind {
     /// Number of distinct kinds.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     /// Every kind, in index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -79,6 +86,9 @@ impl EventKind {
         EventKind::EstimatorClamped,
         EventKind::Underflow,
         EventKind::PoolOccupancy,
+        EventKind::SpanStart,
+        EventKind::SpanAnnotate,
+        EventKind::SpanEnd,
     ];
 
     /// Dense index (0-based, stable within a release).
@@ -96,7 +106,19 @@ impl EventKind {
             EventKind::EstimatorClamped => 8,
             EventKind::Underflow => 9,
             EventKind::PoolOccupancy => 10,
+            EventKind::SpanStart => 11,
+            EventKind::SpanAnnotate => 12,
+            EventKind::SpanEnd => 13,
         }
+    }
+
+    /// True for the three span-lifecycle kinds.
+    #[must_use]
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            EventKind::SpanStart | EventKind::SpanAnnotate | EventKind::SpanEnd
+        )
     }
 
     /// Stable snake_case label (the `kind` field of the JSONL output).
@@ -114,6 +136,9 @@ impl EventKind {
             EventKind::EstimatorClamped => "estimator_clamped",
             EventKind::Underflow => "underflow",
             EventKind::PoolOccupancy => "pool_occupancy",
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanAnnotate => "span_annotate",
+            EventKind::SpanEnd => "span_end",
         }
     }
 }
@@ -255,6 +280,43 @@ pub enum Event {
         /// Streams holding buffers.
         streams: usize,
     },
+    /// A lifecycle span opened.
+    SpanStart {
+        /// Open time.
+        at: Instant,
+        /// The owning trace.
+        trace: TraceId,
+        /// This span's id.
+        span: SpanId,
+        /// Enclosing span, if any.
+        parent: Option<SpanId>,
+        /// What stage of the request path the span covers.
+        span_kind: SpanKind,
+    },
+    /// A key/value annotation on an open span.
+    SpanAnnotate {
+        /// Annotation time.
+        at: Instant,
+        /// The owning trace.
+        trace: TraceId,
+        /// The annotated span.
+        span: SpanId,
+        /// Annotation key.
+        key: &'static str,
+        /// Annotation value.
+        value: AnnoValue,
+    },
+    /// A lifecycle span closed.
+    SpanEnd {
+        /// Close time.
+        at: Instant,
+        /// The owning trace.
+        trace: TraceId,
+        /// The closing span.
+        span: SpanId,
+        /// How the span ended.
+        status: SpanStatus,
+    },
 }
 
 impl Event {
@@ -273,6 +335,9 @@ impl Event {
             Event::EstimatorClamped { .. } => EventKind::EstimatorClamped,
             Event::Underflow { .. } => EventKind::Underflow,
             Event::PoolOccupancy { .. } => EventKind::PoolOccupancy,
+            Event::SpanStart { .. } => EventKind::SpanStart,
+            Event::SpanAnnotate { .. } => EventKind::SpanAnnotate,
+            Event::SpanEnd { .. } => EventKind::SpanEnd,
         }
     }
 
@@ -290,7 +355,10 @@ impl Event {
             | Event::BufferFreed { at, .. }
             | Event::EstimatorClamped { at, .. }
             | Event::Underflow { at, .. }
-            | Event::PoolOccupancy { at, .. } => at,
+            | Event::PoolOccupancy { at, .. }
+            | Event::SpanStart { at, .. }
+            | Event::SpanAnnotate { at, .. }
+            | Event::SpanEnd { at, .. } => at,
         }
     }
 
@@ -400,6 +468,49 @@ impl Event {
                 o.num("peak_bits", peak.as_f64());
                 o.uint("streams", streams as u64);
             }
+            // Span ids are emitted as 16-hex-digit strings: a u64 does
+            // not survive a round trip through an f64 JSON number.
+            Event::SpanStart {
+                trace,
+                span,
+                parent,
+                span_kind,
+                ..
+            } => {
+                o.str("trace", &trace.hex());
+                o.str("span", &span.hex());
+                match parent {
+                    Some(p) => o.str("parent", &p.hex()),
+                    None => o.null("parent"),
+                }
+                o.str("span_kind", span_kind.label());
+            }
+            Event::SpanAnnotate {
+                trace,
+                span,
+                key,
+                value,
+                ..
+            } => {
+                o.str("trace", &trace.hex());
+                o.str("span", &span.hex());
+                o.str("key", key);
+                match value {
+                    AnnoValue::U64(v) => o.uint("value", v),
+                    AnnoValue::F64(v) => o.num("value", v),
+                    AnnoValue::Str(v) => o.str("value", v),
+                }
+            }
+            Event::SpanEnd {
+                trace,
+                span,
+                status,
+                ..
+            } => {
+                o.str("trace", &trace.hex());
+                o.str("span", &span.hex());
+                o.str("status", status.label());
+            }
         }
         o.finish()
     }
@@ -438,6 +549,44 @@ mod tests {
         assert!(j.contains("\"id\":7"), "{j}");
         assert!(j.contains("\"deficit_bits\":64"), "{j}");
         assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn span_json_uses_hex_ids() {
+        let trace = TraceId::derive(5, 1);
+        let span = SpanId::derive(trace, 0);
+        let e = Event::SpanStart {
+            at: Instant::from_secs(2.0),
+            trace,
+            span,
+            parent: None,
+            span_kind: SpanKind::Request,
+        };
+        let j = e.to_json();
+        assert!(j.starts_with("{\"kind\":\"span_start\""), "{j}");
+        assert!(j.contains(&format!("\"trace\":\"{}\"", trace.hex())), "{j}");
+        assert!(j.contains(&format!("\"span\":\"{}\"", span.hex())), "{j}");
+        assert!(j.contains("\"parent\":null"), "{j}");
+        assert!(j.contains("\"span_kind\":\"request\""), "{j}");
+
+        let end = Event::SpanEnd {
+            at: Instant::from_secs(3.0),
+            trace,
+            span,
+            status: SpanStatus::Admitted,
+        };
+        assert!(end.to_json().contains("\"status\":\"admitted\""));
+
+        let anno = Event::SpanAnnotate {
+            at: Instant::from_secs(2.5),
+            trace,
+            span,
+            key: "hops",
+            value: AnnoValue::U64(2),
+        };
+        let aj = anno.to_json();
+        assert!(aj.contains("\"key\":\"hops\""), "{aj}");
+        assert!(aj.contains("\"value\":2"), "{aj}");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! Built directly on [`std::net::TcpListener`] — one accept thread,
 //! GET-only, `Connection: close` — so `repro --metrics-addr
 //! 127.0.0.1:9100` can be scraped by Prometheus (or `curl`) without
-//! pulling in an HTTP stack. Anything fancier (keep-alive, TLS,
-//! routing) is out of scope: the server exists to serve one text
-//! document to a trusted scraper.
+//! pulling in an HTTP stack. Routing is deliberately tiny: `/metrics`
+//! (and `/`, its alias) serve the exposition text, `/healthz` answers
+//! liveness probes, anything else is 404. Anything fancier
+//! (keep-alive, TLS) is out of scope: the server exists to serve one
+//! text document to a trusted scraper.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -108,27 +110,55 @@ fn handle_connection(mut stream: TcpStream, registry: &Arc<MetricsRegistry>) {
         }
     }
     let head = String::from_utf8_lossy(&buf[..filled]);
-    let is_get = head
-        .lines()
-        .next()
-        .is_some_and(|line| line.starts_with("GET "));
-    let response = if is_get {
-        let body = prom::render(&registry.snapshot());
-        format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        )
-    } else {
-        let body = "method not allowed\n";
-        format!(
-            "HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\nContent-Type: text/plain\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        )
+    let request_line = head.lines().next().unwrap_or("");
+    let response = match parse_get_path(request_line) {
+        // `/` kept as an alias for `/metrics` (curl convenience and
+        // backwards compatibility with the route-free server).
+        Some("/metrics" | "/") => {
+            let body = prom::render(&registry.snapshot());
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+        }
+        // Liveness probe: cheap (no registry snapshot), fixed body.
+        Some("/healthz") => {
+            let body = "ok\n";
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+        }
+        Some(_) => {
+            let body = "not found\n";
+            format!(
+                "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+        }
+        None => {
+            let body = "method not allowed\n";
+            format!(
+                "HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\nContent-Type: text/plain\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+        }
     };
     drop(stream.write_all(response.as_bytes()));
     drop(stream.flush());
+}
+
+/// Extracts the request path from a `GET <path> HTTP/x.y` request line,
+/// query string stripped; `None` for any other method or a malformed
+/// line.
+fn parse_get_path(request_line: &str) -> Option<&str> {
+    let rest = request_line.strip_prefix("GET ")?;
+    let path = rest.split_whitespace().next()?;
+    Some(path.split('?').next().unwrap_or(path))
 }
 
 #[cfg(test)]
@@ -173,5 +203,46 @@ mod tests {
             "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
         );
         assert!(body.starts_with("HTTP/1.1 405"), "got: {body}");
+    }
+
+    #[test]
+    fn parses_get_paths() {
+        assert_eq!(parse_get_path("GET /metrics HTTP/1.1"), Some("/metrics"));
+        assert_eq!(parse_get_path("GET /healthz HTTP/1.0"), Some("/healthz"));
+        assert_eq!(
+            parse_get_path("GET /metrics?x=1 HTTP/1.1"),
+            Some("/metrics")
+        );
+        assert_eq!(parse_get_path("POST /metrics HTTP/1.1"), None);
+        assert_eq!(parse_get_path(""), None);
+    }
+
+    /// `/healthz` answers even while the registry is busy, unknown
+    /// paths 404, and the server keeps serving connections afterwards
+    /// (one bad request must not wedge the accept loop).
+    #[test]
+    fn healthz_and_unknown_path_handling() {
+        let reg = Arc::new(MetricsRegistry::new());
+        Metrics::new(Arc::clone(&reg))
+            .counter("vod_cycles_total")
+            .inc();
+        let server = MetricsServer::bind("127.0.0.1:0", reg).unwrap();
+        let addr = server.local_addr();
+
+        let health = scrape(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "got: {health}");
+        assert!(health.ends_with("ok\n"), "got: {health}");
+        assert!(
+            !health.contains("vod_cycles_total"),
+            "healthz must not render metrics: {health}"
+        );
+
+        let missing = scrape(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+
+        // The endpoint still serves metrics after the 404.
+        let body = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(body.contains("vod_cycles_total 1"), "got: {body}");
+        server.shutdown();
     }
 }

@@ -17,6 +17,21 @@
 //!   capacity, per-kind counters, fixed-bucket histograms (service
 //!   latency, cycle slack, pool occupancy), and JSONL export.
 //!
+//! A fourth sink, the [`FlightRecorder`], keeps only a bounded ring of
+//! the most recent records and dumps them as JSONL when an anomaly
+//! fires (underflow, overflow rejection, cluster queue park, or a
+//! manual trigger such as a baseline-gate failure). [`sink::TeeSink`]
+//! fans one event stream out to two sinks, so the flight recorder can
+//! ride alongside a full recorder.
+//!
+//! # Spans
+//!
+//! [`span`] layers request-lifecycle tracing over the same event
+//! stream: deterministic [`TraceId`]/[`SpanId`]s derived from seed +
+//! arrival index (never a clock), emitted as `SpanStart` /
+//! `SpanAnnotate` / `SpanEnd` [`Event`] variants so every sink sees
+//! them unchanged.
+//!
 //! # Determinism
 //!
 //! Events carry only simulated time ([`vod_types::Instant`]) and values
@@ -44,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -51,8 +67,10 @@ pub mod profile;
 pub mod prom;
 pub mod recorder;
 pub mod sink;
+pub mod span;
 
 pub use event::{Event, EventKind, RejectReason};
+pub use flight::FlightRecorder;
 pub use http::MetricsServer;
 pub use metrics::{
     Counter, Gauge, Histo, HistoSnapshot, LogHistogram, Metrics, MetricsRegistry, MetricsSnapshot,
@@ -62,4 +80,5 @@ pub use recorder::{
     Histogram, HistogramSnapshot, RecorderSink, RecorderSnapshot, HIST_CYCLE_SLACK,
     HIST_POOL_OCCUPANCY, HIST_SERVICE_LATENCY,
 };
-pub use sink::{EventMask, NullSink, Obs, Sink, StderrSink};
+pub use sink::{EventMask, NullSink, Obs, Sink, StderrSink, TeeSink};
+pub use span::{AnnoValue, Span, SpanId, SpanKind, SpanStatus, TraceId};

@@ -58,6 +58,10 @@ pub const CTR_REJECTED: &str = "vod_requests_rejected_total";
 pub const CTR_UNDERFLOWS: &str = "vod_underflows_total";
 /// Counter: buffer-pool fill operations.
 pub const CTR_POOL_FILLS: &str = "vod_pool_fills_total";
+/// Counter: non-span events dropped by a bounded recorder.
+pub const CTR_EVENTS_DROPPED: &str = "vod_events_dropped_total";
+/// Counter: span records dropped by a bounded recorder.
+pub const CTR_SPANS_DROPPED: &str = "vod_spans_dropped_total";
 
 /// Gauge: current buffer-pool occupancy in bits.
 pub const GAUGE_POOL_USED: &str = "vod_pool_used_bits";

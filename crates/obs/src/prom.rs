@@ -116,6 +116,27 @@ mod tests {
         assert!(text.contains("vod_phase_service_seconds_sum 0.003"));
     }
 
+    /// The recorder drop counters must surface as first-class counter
+    /// series (not just summary-JSON fields), so dashboards can alert
+    /// on capture loss directly.
+    #[test]
+    fn renders_drop_counters_as_first_class_series() {
+        use crate::metrics::{CTR_EVENTS_DROPPED, CTR_SPANS_DROPPED};
+        let reg = Arc::new(MetricsRegistry::new());
+        let m = Metrics::new(Arc::clone(&reg));
+        m.counter(CTR_EVENTS_DROPPED).add(3);
+        m.counter(CTR_SPANS_DROPPED).add(5);
+        let text = render(&reg.snapshot());
+        assert!(
+            text.contains("# TYPE vod_events_dropped_total counter\nvod_events_dropped_total 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE vod_spans_dropped_total counter\nvod_spans_dropped_total 5\n"),
+            "{text}"
+        );
+    }
+
     /// Every scrape line must be `# ...`, blank, or
     /// `name[{labels}] value` with a parseable value — the shape a
     /// Prometheus scraper accepts.

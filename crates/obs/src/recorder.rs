@@ -140,7 +140,8 @@ pub const HIST_POOL_OCCUPANCY: &str = "pool_occupancy_mib";
 struct RecorderState {
     counters: [u64; EventKind::COUNT],
     events: Vec<Event>,
-    dropped: u64,
+    events_dropped: u64,
+    spans_dropped: u64,
     service_latency: Histogram,
     cycle_slack: Histogram,
     pool_occupancy: Histogram,
@@ -155,6 +156,7 @@ struct RecorderState {
 pub struct RecorderSink {
     state: Mutex<RecorderState>,
     capacity: usize,
+    enabled: [bool; EventKind::COUNT],
 }
 
 /// Default bounded event capacity (events beyond this are counted as
@@ -175,7 +177,8 @@ impl RecorderSink {
             state: Mutex::new(RecorderState {
                 counters: [0; EventKind::COUNT],
                 events: Vec::with_capacity(capacity.min(4096)),
-                dropped: 0,
+                events_dropped: 0,
+                spans_dropped: 0,
                 service_latency: Histogram::new(
                     HIST_SERVICE_LATENCY,
                     &[
@@ -194,7 +197,23 @@ impl RecorderSink {
                 ),
             }),
             capacity,
+            enabled: [true; EventKind::COUNT],
         }
+    }
+
+    /// Restricts the recorder to `kinds`: other kinds are reported as
+    /// disabled (so `emit_with` callers skip building them entirely) and
+    /// ignored if recorded anyway. Use for long traced runs where only a
+    /// subset of the stream is wanted — e.g. the cluster trace keeps span
+    /// lifecycles plus admission outcomes and drops per-cycle telemetry
+    /// that would otherwise overflow the capacity bound.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: &[EventKind]) -> Self {
+        self.enabled = [false; EventKind::COUNT];
+        for &k in kinds {
+            self.enabled[k.index()] = true;
+        }
+        self
     }
 
     /// An immutable copy of everything recorded so far.
@@ -204,7 +223,8 @@ impl RecorderSink {
         RecorderSnapshot {
             counters: st.counters,
             events: st.events.clone(),
-            dropped: st.dropped,
+            events_dropped: st.events_dropped,
+            spans_dropped: st.spans_dropped,
             histograms: vec![
                 st.service_latency.snapshot(),
                 st.cycle_slack.snapshot(),
@@ -221,11 +241,14 @@ impl Default for RecorderSink {
 }
 
 impl Sink for RecorderSink {
-    fn enabled(&self, _kind: EventKind) -> bool {
-        true
+    fn enabled(&self, kind: EventKind) -> bool {
+        self.enabled[kind.index()]
     }
 
     fn record(&self, event: &Event) {
+        if !self.enabled[event.kind().index()] {
+            return;
+        }
         let mut st = self.state.lock().expect("recorder mutex poisoned");
         st.counters[event.kind().index()] += 1;
         match *event {
@@ -246,8 +269,10 @@ impl Sink for RecorderSink {
         }
         if st.events.len() < self.capacity {
             st.events.push(*event);
+        } else if event.kind().is_span() {
+            st.spans_dropped += 1;
         } else {
-            st.dropped += 1;
+            st.events_dropped += 1;
         }
     }
 }
@@ -257,7 +282,8 @@ impl Sink for RecorderSink {
 pub struct RecorderSnapshot {
     counters: [u64; EventKind::COUNT],
     events: Vec<Event>,
-    dropped: u64,
+    events_dropped: u64,
+    spans_dropped: u64,
     histograms: Vec<HistogramSnapshot>,
 }
 
@@ -274,10 +300,24 @@ impl RecorderSnapshot {
         &self.events
     }
 
-    /// Events that exceeded capacity (counted and histogrammed, not kept).
+    /// Total records that exceeded capacity (events plus spans; each is
+    /// still counted and histogrammed, just not kept).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.events_dropped + self.spans_dropped
+    }
+
+    /// Non-span events that exceeded capacity.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Span records (`span_start`/`span_annotate`/`span_end`) that
+    /// exceeded capacity.
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
     }
 
     /// The three built-in histograms: service latency, cycle slack, and
@@ -307,7 +347,8 @@ impl RecorderSnapshot {
         let mut o = json::Object::new();
         o.raw("counters", &counters.finish());
         o.uint("events_recorded", self.events.len() as u64);
-        o.uint("events_dropped", self.dropped);
+        o.uint("events_dropped", self.events_dropped);
+        o.uint("spans_dropped", self.spans_dropped);
         o.raw("histograms", &hists.finish());
         o.finish()
     }
@@ -414,6 +455,59 @@ mod tests {
         assert!(jsonl
             .lines()
             .all(|l| l.starts_with("{\"kind\":\"underflow\"")));
+    }
+
+    #[test]
+    fn recorder_splits_event_and_span_drops() {
+        use crate::span::{SpanId, SpanKind, SpanStatus, TraceId};
+        let rec = RecorderSink::with_capacity(1);
+        rec.record(&underflow(0.0)); // retained
+        rec.record(&underflow(1.0)); // dropped event
+        let trace = TraceId::derive(1, 0);
+        let span = SpanId::derive(trace, 0);
+        rec.record(&Event::SpanStart {
+            at: Instant::from_secs(2.0),
+            trace,
+            span,
+            parent: None,
+            span_kind: SpanKind::Request,
+        }); // dropped span
+        rec.record(&Event::SpanEnd {
+            at: Instant::from_secs(3.0),
+            trace,
+            span,
+            status: SpanStatus::Ok,
+        }); // dropped span
+        let s = rec.snapshot();
+        assert_eq!(s.events_dropped(), 1);
+        assert_eq!(s.spans_dropped(), 2);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.counter(EventKind::SpanStart), 1, "dropped still counted");
+        let j = s.to_json();
+        assert!(j.contains("\"events_dropped\":1"), "{j}");
+        assert!(j.contains("\"spans_dropped\":2"), "{j}");
+    }
+
+    #[test]
+    fn kind_filter_disables_and_ignores_other_kinds() {
+        use crate::span::{SpanId, SpanKind, TraceId};
+        let rec = RecorderSink::new().with_kinds(&[EventKind::SpanStart]);
+        assert!(rec.enabled(EventKind::SpanStart));
+        assert!(!rec.enabled(EventKind::Underflow));
+        rec.record(&underflow(0.0)); // filtered out entirely
+        let trace = TraceId::derive(1, 0);
+        rec.record(&Event::SpanStart {
+            at: Instant::ZERO,
+            trace,
+            span: SpanId::derive(trace, 0),
+            parent: None,
+            span_kind: SpanKind::Request,
+        });
+        let s = rec.snapshot();
+        assert_eq!(s.counter(EventKind::Underflow), 0, "not even counted");
+        assert_eq!(s.counter(EventKind::SpanStart), 1);
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(s.dropped(), 0);
     }
 
     #[test]

@@ -164,6 +164,40 @@ impl Sink for StderrSink {
     }
 }
 
+/// Fans one event stream out to two sinks.
+///
+/// `enabled` is the union of the children's interests; `record` hands
+/// the event to each child that wants its kind. Nest tees to fan out
+/// wider (e.g. recorder + flight recorder + stderr).
+pub struct TeeSink {
+    a: Arc<dyn Sink>,
+    b: Arc<dyn Sink>,
+}
+
+impl TeeSink {
+    /// A tee feeding both `a` and `b`.
+    #[must_use]
+    pub fn new(a: Arc<dyn Sink>, b: Arc<dyn Sink>) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl Sink for TeeSink {
+    fn enabled(&self, kind: EventKind) -> bool {
+        self.a.enabled(kind) || self.b.enabled(kind)
+    }
+
+    fn record(&self, event: &Event) {
+        let kind = event.kind();
+        if self.a.enabled(kind) {
+            self.a.record(event);
+        }
+        if self.b.enabled(kind) {
+            self.b.record(event);
+        }
+    }
+}
+
 /// The handle emitters hold: either detached (free) or an attached sink.
 ///
 /// Cloning is cheap (an `Arc` clone). The `#[inline]` fast paths mean a
@@ -210,6 +244,14 @@ impl Obs {
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The attached sink, if any. Harnesses that swap in a temporary
+    /// sink (a per-cell recorder, say) use this to tee the caller's
+    /// sink alongside rather than silently dropping it.
+    #[must_use]
+    pub fn sink(&self) -> Option<Arc<dyn Sink>> {
+        self.sink.clone()
     }
 
     /// The historical default: a [`StderrSink`] when any `VOD_DEBUG_*`
@@ -341,5 +383,22 @@ mod tests {
         for k in EventKind::ALL {
             assert!(!NullSink.enabled(k));
         }
+    }
+
+    #[test]
+    fn tee_feeds_both_children_and_unions_interest() {
+        let a = Arc::new(RecorderSink::with_capacity(4));
+        let b = Arc::new(RecorderSink::with_capacity(4));
+        let tee = TeeSink::new(a.clone(), b.clone());
+        assert!(tee.enabled(EventKind::Underflow));
+        let obs = Obs::new(Arc::new(tee));
+        obs.emit(&Event::Underflow {
+            at: Instant::from_secs(1.0),
+            id: RequestId::new(1),
+            n: 1,
+            deficit: Bits::new(8.0),
+        });
+        assert_eq!(a.snapshot().counter(EventKind::Underflow), 1);
+        assert_eq!(b.snapshot().counter(EventKind::Underflow), 1);
     }
 }

@@ -31,6 +31,7 @@ use vod_obs::metrics::{
     Metrics, CTR_ADMITTED, CTR_CYCLES, CTR_DEFERRED, CTR_REJECTED, CTR_SERVICES, CTR_UNDERFLOWS,
     PHASE_ADMISSION, PHASE_CYCLE_PLAN, PHASE_SERVICE,
 };
+use vod_obs::span::{self, AnnoValue, SpanId, SpanKind, SpanStatus, TraceId};
 use vod_obs::{Counter, Event, EventKind, Histo, Obs, RejectReason};
 use vod_sched::{AdmissionTiming, SchedulingMethod};
 use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VideoId};
@@ -117,6 +118,8 @@ struct Pending {
     /// request (Fixed-Stretch slot semantics behind Eqs. 2–4).
     eligible_at: Instant,
     deferred_counted: bool,
+    /// The lifecycle trace (observability only — pure data-flow).
+    trace: TraceId,
 }
 
 /// Aggregate-memory accounting: `used(t) = levels − CR·(draining·t − Σ tᵢ)`
@@ -244,7 +247,26 @@ pub struct DiskEngine {
     next_request_id: u64,
     /// Lifetime progress-step counter backing the no-progress guard.
     iters: u64,
+    /// Scope seed for deterministic trace derivation (defaults to the
+    /// latency seed; see [`Self::set_trace_scope`]).
+    trace_seed: u64,
+    /// The open cycle span, when tracing (trace + span id).
+    cycle_span: Option<(TraceId, SpanId)>,
+    /// Monotone cycle-span sequence (advances whether or not tracing is
+    /// on, so span ids never depend on when a sink was attached).
+    cycle_seq: u64,
+    /// Whether per-cycle spans — cycle spans and steady-state service
+    /// spans — are emitted when tracing (first-fill service spans always
+    /// are). Long traced runs — the cluster bench — turn this off:
+    /// per-cycle spans dominate the event volume without feeding the
+    /// lifecycle audit. Emission-only; span sequence numbers advance
+    /// regardless.
+    trace_per_cycle: bool,
 }
+
+/// Scope salt separating the engine's cycle-span trace from request
+/// traces derived under the same seed.
+const ENGINE_TRACE_SCOPE: u64 = 0x0063_7963_6c65; // "cycle"
 
 /// Outcome of one engine progress step (see [`DiskEngine::step_body`]).
 enum Step {
@@ -327,7 +349,40 @@ impl DiskEngine {
             m,
             next_request_id: 0,
             iters: 0,
-        })
+            trace_seed: 0,
+            cycle_span: None,
+            cycle_seq: 0,
+            trace_per_cycle: true,
+        }
+        .with_default_trace_scope())
+    }
+
+    fn with_default_trace_scope(mut self) -> Self {
+        self.trace_seed = self.cfg.latency_seed;
+        self
+    }
+
+    /// Re-scopes trace-id derivation (default: the latency seed).
+    /// Cluster nodes and multi-seed runners give each engine a distinct
+    /// scope so traces from concurrently running engines never collide
+    /// in a shared JSONL stream. Observability only — no admission or
+    /// service decision reads it.
+    pub fn set_trace_scope(&mut self, seed: u64) {
+        self.trace_seed = seed;
+    }
+
+    /// Toggles per-cycle spans — cycle spans and steady-state service
+    /// spans (default on). With `false`, only each stream's *first-fill*
+    /// service span is emitted — the one that closes the
+    /// time-to-first-service window. Affects emission only: span
+    /// sequencing and every scheduling decision are identical either way.
+    pub fn set_per_cycle_tracing(&mut self, on: bool) {
+        self.trace_per_cycle = on;
+    }
+
+    /// The engine-scoped trace carrying cycle spans.
+    fn engine_trace(&self) -> TraceId {
+        TraceId::derive(self.trace_seed ^ ENGINE_TRACE_SCOPE, 0)
     }
 
     /// Runs the engine over a time-sorted arrival trace (all targeting
@@ -395,6 +450,9 @@ impl DiskEngine {
                     self.m.cycles.inc();
                     self.cycle_active = false;
                     idle_cycle = self.cycle_services == 0;
+                    if let Some((tr, sp)) = self.cycle_span.take() {
+                        self.obs.span_end(self.t, tr, sp, SpanStatus::Ok);
+                    }
                 }
                 self.order.clear();
                 self.process_due_departures();
@@ -423,7 +481,7 @@ impl DiskEngine {
                             // Unreachable in practice: an empty roster
                             // admits freely; surviving queue entries were
                             // memory-rejected — drop them.
-                            while self.pending.pop_front().is_some() {
+                            while let Some(p) = self.pending.pop_front() {
                                 self.stats.rejected += 1;
                                 self.m.rejected.inc();
                                 let n = self.streams.len() + self.pending.len();
@@ -434,6 +492,20 @@ impl DiskEngine {
                                         reason: RejectReason::QueueDropped,
                                     }
                                 });
+                                if self.obs.tracing() && !p.trace.is_none() {
+                                    let root = SpanId::derive(p.trace, span::SEQ_REQUEST);
+                                    let adm = SpanId::derive(p.trace, span::SEQ_ADMISSION);
+                                    self.obs.span_annotate(
+                                        self.t,
+                                        p.trace,
+                                        adm,
+                                        "reject_reason",
+                                        AnnoValue::Str(RejectReason::QueueDropped.label()),
+                                    );
+                                    self.obs.span_end(self.t, p.trace, adm, SpanStatus::Refused);
+                                    self.obs
+                                        .span_end(self.t, p.trace, root, SpanStatus::Refused);
+                                }
                             }
                         }
                     }
@@ -516,6 +588,21 @@ impl DiskEngine {
                 self.cycle_start = start;
                 self.cursor = 0;
                 self.cycle_active = true;
+                let cseq = self.cycle_seq;
+                self.cycle_seq += 1;
+                if self.obs.tracing() && self.trace_per_cycle {
+                    let tr = self.engine_trace();
+                    let sp = SpanId::derive(tr, cseq);
+                    self.obs.span_start(start, tr, sp, None, SpanKind::Cycle);
+                    self.obs.span_annotate(
+                        start,
+                        tr,
+                        sp,
+                        "n",
+                        AnnoValue::U64(self.streams.len() as u64),
+                    );
+                    self.cycle_span = Some((tr, sp));
+                }
                 self.cycle_services = 0;
                 self.cycle_insertions_left = plan.insertion_budget;
                 if let Some(peak) = self.mem.observe(self.t, self.cfg.params.cr().as_f64()) {
@@ -655,7 +742,22 @@ impl DiskEngine {
             self.t
         );
         self.process_due_departures();
-        self.ingest(a);
+        self.ingest_traced(a, None);
+    }
+
+    /// [`Self::offer`], but continuing an externally minted trace (a
+    /// cluster front end dispatching a request threads the dispatch
+    /// trace through the node engine). Observability only: the engine's
+    /// admission and scheduling behave exactly as [`Self::offer`].
+    pub fn offer_traced(&mut self, a: &Arrival, trace: TraceId) {
+        assert!(
+            a.at <= self.t,
+            "arrival at {} offered before the engine reached it (now {})",
+            a.at,
+            self.t
+        );
+        self.process_due_departures();
+        self.ingest_traced(a, Some(trace));
     }
 
     /// Runs all internal work — services, departures, node-local
@@ -721,8 +823,27 @@ impl DiskEngine {
     // ---------- arrival / admission ----------
 
     fn ingest(&mut self, a: &Arrival) {
+        self.ingest_traced(a, None);
+    }
+
+    fn ingest_traced(&mut self, a: &Arrival, trace: Option<TraceId>) {
         let id = RequestId::new(self.next_request_id);
         self.next_request_id += 1;
+        // The request's lifecycle trace: continue the caller's (cluster
+        // dispatch) or derive one from the scope seed and the request
+        // id. Derivation is unconditional and pure, so attaching a sink
+        // can never change the id sequence.
+        let trace = match trace {
+            Some(t) if !t.is_none() => t,
+            _ => TraceId::derive(self.trace_seed, id.raw()),
+        };
+        let root = SpanId::derive(trace, span::SEQ_REQUEST);
+        if self.obs.tracing() {
+            self.obs
+                .span_start(a.at, trace, root, None, SpanKind::Request);
+            self.obs
+                .span_annotate(a.at, trace, root, "video", AnnoValue::U64(a.video.raw()));
+        }
         // Every arrival feeds the estimator, admitted or not.
         match &mut self.scheme {
             SchemeState::Dynamic(ctl) => ctl.note_arrival(a.at),
@@ -743,6 +864,7 @@ impl DiskEngine {
                     n,
                     reason: RejectReason::DiskFull,
                 });
+            self.end_refused(a.at, trace, root, RejectReason::DiskFull);
             return;
         }
         if !self.memory_admits(n + 1, a.at) {
@@ -754,7 +876,13 @@ impl DiskEngine {
                     n,
                     reason: RejectReason::MemoryFull,
                 });
+            self.end_refused(a.at, trace, root, RejectReason::MemoryFull);
             return;
+        }
+        if self.obs.tracing() {
+            let adm = SpanId::derive(trace, span::SEQ_ADMISSION);
+            self.obs
+                .span_start(a.at, trace, adm, Some(root), SpanKind::Admission);
         }
         let grid = self.admission_grid().as_secs_f64().max(1e-9);
         let next = (a.at.as_secs_f64() / grid).floor() + 1.0;
@@ -766,7 +894,24 @@ impl DiskEngine {
             n_at_arrival: self.streams.len(),
             eligible_at: Instant::from_secs(next * grid),
             deferred_counted: false,
+            trace,
         });
+    }
+
+    /// Closes a request's root span as refused with the reason that
+    /// rejected it (immediate disk/memory rejection — no admission span
+    /// was ever opened).
+    fn end_refused(&self, at: Instant, trace: TraceId, root: SpanId, reason: RejectReason) {
+        if self.obs.tracing() {
+            self.obs.span_annotate(
+                at,
+                trace,
+                root,
+                "reject_reason",
+                AnnoValue::Str(reason.label()),
+            );
+            self.obs.span_end(at, trace, root, SpanStatus::Refused);
+        }
     }
 
     fn memory_admits(&mut self, prospective_n: usize, now: Instant) -> bool {
@@ -844,6 +989,33 @@ impl DiskEngine {
                             id: head.id,
                             n,
                         });
+                    if self.obs.tracing() && !head.trace.is_none() {
+                        // Name the BS_k(n) constraint that deferred it.
+                        let (label, bound) = match &mut self.scheme {
+                            SchemeState::Dynamic(ctl) => {
+                                let c = ctl.binding_constraint();
+                                (c.label(), c.bound())
+                            }
+                            SchemeState::Static | SchemeState::Naive(_) => {
+                                ("disk_bound", self.cfg.params.max_requests())
+                            }
+                        };
+                        let adm = SpanId::derive(head.trace, span::SEQ_ADMISSION);
+                        self.obs.span_annotate(
+                            self.t,
+                            head.trace,
+                            adm,
+                            "constraint",
+                            AnnoValue::Str(label),
+                        );
+                        self.obs.span_annotate(
+                            self.t,
+                            head.trace,
+                            adm,
+                            "bound",
+                            AnnoValue::U64(bound as u64),
+                        );
+                    }
                 }
                 return;
             }
@@ -886,6 +1058,7 @@ impl DiskEngine {
         let mut stream = Stream::new(p.id, p.video, p.arrived, p.viewing);
         stream.n_at_arrival = p.n_at_arrival;
         stream.eligible_at = p.eligible_at.max(self.t);
+        stream.trace = p.trace;
         let slot = self.streams.insert(stream);
         self.stats.admitted += 1;
         self.m.admitted.inc();
@@ -898,6 +1071,26 @@ impl DiskEngine {
                 n: n_now,
                 waited: self.t - p.arrived,
             });
+        if self.obs.tracing() && !p.trace.is_none() {
+            // The bound that *allowed* the admission (mirrors the
+            // deferral annotation so traces always name the decider).
+            let (label, bound) = match &mut self.scheme {
+                SchemeState::Dynamic(ctl) => {
+                    let c = ctl.binding_constraint();
+                    (c.label(), c.bound())
+                }
+                SchemeState::Static | SchemeState::Naive(_) => {
+                    ("disk_bound", self.cfg.params.max_requests())
+                }
+            };
+            let adm = SpanId::derive(p.trace, span::SEQ_ADMISSION);
+            self.obs
+                .span_annotate(self.t, p.trace, adm, "constraint", AnnoValue::Str(label));
+            self.obs
+                .span_annotate(self.t, p.trace, adm, "bound", AnnoValue::U64(bound as u64));
+            self.obs
+                .span_end(self.t, p.trace, adm, SpanStatus::Admitted);
+        }
         // BubbleUp: service the newcomer right after the current service
         // AND keep it at that ring position (base_order is the ring).
         // GSS*: join at the next group boundary, persistently.
@@ -1071,9 +1264,13 @@ impl DiskEngine {
 
         // Track the allocation size for buffer-lifecycle events. The
         // update is unconditional (sink or no sink) so instrumented runs
-        // stay bit-identical.
+        // stay bit-identical — as is the span-sequence advance, so span
+        // ids never depend on when (or whether) a sink was attached.
         let prev_alloc = stream.last_alloc;
         stream.last_alloc = size;
+        let trace = stream.trace;
+        let svc_seq = stream.span_seq;
+        stream.span_seq += 1;
         stream.fill(t_data, read);
         if !started {
             self.obs
@@ -1140,6 +1337,35 @@ impl DiskEngine {
         self.stats.services += 1;
         self.m.services.inc();
         self.cycle_services += 1;
+        if self.obs.tracing() && !trace.is_none() && (self.trace_per_cycle || !started) {
+            let root = SpanId::derive(trace, span::SEQ_REQUEST);
+            let sp = SpanId::derive(trace, svc_seq);
+            self.obs
+                .span_start(now, trace, sp, Some(root), SpanKind::Service);
+            self.obs
+                .span_annotate(t_done, trace, sp, "n", AnnoValue::U64(n_c as u64));
+            self.obs
+                .span_annotate(t_done, trace, sp, "k", AnnoValue::U64(k_c as u64));
+            self.obs.span_annotate(
+                t_done,
+                trace,
+                sp,
+                "read_bits",
+                AnnoValue::F64(read.as_f64()),
+            );
+            self.obs.span_annotate(
+                t_done,
+                trace,
+                sp,
+                "size_bits",
+                AnnoValue::F64(size.as_f64()),
+            );
+            if !started {
+                self.obs
+                    .span_annotate(t_done, trace, sp, "first_fill", AnnoValue::U64(1));
+            }
+            self.obs.span_end(t_done, trace, sp, SpanStatus::Ok);
+        }
         self.t = t_done;
         self.note_due(slot);
     }
@@ -1495,6 +1721,10 @@ impl DiskEngine {
                 id,
                 released: s.level(),
             });
+        if self.obs.tracing() && !s.trace.is_none() {
+            let root = SpanId::derive(s.trace, span::SEQ_REQUEST);
+            self.obs.span_end(at, s.trace, root, SpanStatus::Ok);
+        }
         self.conc_events.push((at, -1));
         if let SchemeState::Dynamic(ctl) = &mut self.scheme {
             let _ = ctl.depart(id);
@@ -1504,6 +1734,11 @@ impl DiskEngine {
     // ---------- finish ----------
 
     fn finalize(mut self) -> DiskRunStats {
+        // A run that ends mid-cycle (drained while a cycle was open)
+        // still closes its cycle span.
+        if let Some((tr, sp)) = self.cycle_span.take() {
+            self.obs.span_end(self.t, tr, sp, SpanStatus::Ok);
+        }
         self.conc_events.sort_by_key(|a| a.0);
         let mut n = 0i64;
         let mut series = Vec::with_capacity(self.conc_events.len());

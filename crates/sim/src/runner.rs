@@ -155,8 +155,12 @@ pub fn run_latency_experiment_observed(
                     let workload =
                         generate(&wl_cfg, seed).expect("workload config validated above");
                     gen_timer.stop();
-                    let engine = DiskEngine::with_observer(engine_cfg, obs)
+                    let trace_scope = engine_cfg.latency_seed ^ vod_obs::span::mix64(seed);
+                    let mut engine = DiskEngine::with_observer(engine_cfg, obs)
                         .expect("engine config validated above");
+                    // Each seed thread traces under its own scope, so a
+                    // shared sink sees collision-free trace ids.
+                    engine.set_trace_scope(trace_scope);
                     let stats = engine.run(&workload.arrivals);
                     let times: Vec<Instant> = workload.arrivals.iter().map(|a| a.at).collect();
                     let audit = evaluate_audits(&stats.audits, &times);

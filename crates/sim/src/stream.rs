@@ -1,5 +1,6 @@
 //! Per-stream state inside the simulator.
 
+use vod_obs::span::{TraceId, SEQ_FIRST_SERVICE};
 use vod_types::{BitRate, Bits, Instant, RequestId, Seconds, VideoId};
 
 /// The simulator's view of one active stream.
@@ -35,6 +36,14 @@ pub struct Stream {
     /// Allocation size used at the last service — observability only
     /// (drives buffer-resize events); never feeds back into scheduling.
     pub last_alloc: Bits,
+    /// The lifecycle trace this stream rides (derived at ingest, or
+    /// handed in by a cluster front end). Observability only — pure
+    /// data-flow, never read by any scheduling decision.
+    pub trace: TraceId,
+    /// Sequence salt of the stream's *next* service span (starts at
+    /// [`SEQ_FIRST_SERVICE`], advances once per disk read).
+    /// Observability only.
+    pub span_seq: u64,
 }
 
 /// What a lazy level update observed.
@@ -62,6 +71,8 @@ impl Stream {
             n_at_arrival: 0,
             eligible_at: arrived,
             last_alloc: Bits::ZERO,
+            trace: TraceId::NONE,
+            span_seq: SEQ_FIRST_SERVICE,
         }
     }
 

@@ -1,0 +1,140 @@
+//! Property tests for the engine's span lifecycles.
+//!
+//! Tracing rides the same `Sink` pipeline as the counter events, so two
+//! things must hold under arbitrary traces, for every scheduling method
+//! × buffer scheme: (1) span lifecycles balance — every `span_start`
+//! the engine emits is closed by exactly one `span_end` on the same
+//! `(trace, span)` id, annotations never reference an id that was never
+//! opened, and admission spans ending `admitted` agree with the run's
+//! admitted count; (2) observation is non-perturbing — the
+//! `DiskRunStats` of a fully traced run equal those of a detached run
+//! bit for bit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vod_core::SchemeKind;
+use vod_obs::{Event, Obs, RecorderSink, SpanStatus};
+use vod_sched::SchedulingMethod;
+use vod_sim::{DiskEngine, EngineConfig};
+use vod_types::{DiskId, Instant, Seconds, VideoId};
+use vod_workload::Arrival;
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Arrival>> {
+    prop::collection::vec(
+        // (arrival offset ms, video, viewing seconds)
+        (0u32..600_000, 0u8..12, 1u16..900),
+        1..24,
+    )
+    .prop_map(|raw| {
+        let mut arrivals: Vec<Arrival> = raw
+            .into_iter()
+            .map(|(at_ms, video, viewing_s)| Arrival {
+                at: Instant::from_secs(f64::from(at_ms) / 1000.0),
+                disk: DiskId::new(0),
+                video: VideoId::new(u64::from(video)),
+                viewing: Seconds::from_secs(f64::from(viewing_s)),
+            })
+            .collect();
+        arrivals.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        arrivals
+    })
+}
+
+fn method_strategy() -> impl Strategy<Value = SchedulingMethod> {
+    prop_oneof![
+        Just(SchedulingMethod::RoundRobin),
+        Just(SchedulingMethod::Sweep),
+        Just(SchedulingMethod::Gss { group_size: 4 }),
+    ]
+}
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Static),
+        Just(SchemeKind::StaticMaxUse),
+        Just(SchemeKind::NaiveDynamic),
+        Just(SchemeKind::Dynamic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every `Span::start` has exactly one matching `end` (and no end or
+    /// annotation orphans), across methods × schemes, and the admission
+    /// spans reconcile with the admitted count.
+    #[test]
+    fn span_lifecycles_balance_across_methods_and_schemes(
+        trace in trace_strategy(),
+        method in method_strategy(),
+        scheme in scheme_strategy(),
+    ) {
+        let recorder = Arc::new(RecorderSink::new());
+        let cfg = EngineConfig::paper(method, scheme);
+        let stats = DiskEngine::with_observer(cfg, Obs::new(Arc::clone(&recorder) as Arc<dyn vod_obs::Sink>))
+            .expect("paper config is valid")
+            .run(&trace);
+
+        let snap = recorder.snapshot();
+        prop_assert_eq!(snap.spans_dropped(), 0, "ring must hold the whole run");
+
+        // (trace, span) -> (starts, ends); annotations checked against
+        // the open set as we replay the event order.
+        let mut balance: HashMap<(u64, u64), (u64, u64)> = HashMap::new();
+        let mut admitted_spans = 0u64;
+        for e in snap.events() {
+            match *e {
+                Event::SpanStart { trace, span, .. } => {
+                    balance.entry((trace.raw(), span.raw())).or_insert((0, 0)).0 += 1;
+                }
+                Event::SpanAnnotate { trace, span, .. } => {
+                    let seen = balance.get(&(trace.raw(), span.raw()));
+                    prop_assert!(
+                        seen.is_some_and(|&(s, _)| s > 0),
+                        "annotation on a span that never started"
+                    );
+                }
+                Event::SpanEnd { trace, span, status, .. } => {
+                    let slot = balance.entry((trace.raw(), span.raw())).or_insert((0, 0));
+                    slot.1 += 1;
+                    if status == SpanStatus::Admitted {
+                        admitted_spans += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (&(t, s), &(starts, ends)) in &balance {
+            prop_assert_eq!(
+                starts, ends,
+                "span {:016x}/{:016x}: {} starts vs {} ends", t, s, starts, ends
+            );
+            prop_assert_eq!(starts, 1, "span ids are minted once");
+        }
+        prop_assert_eq!(
+            admitted_spans, stats.admitted,
+            "exactly one admission span per admitted stream"
+        );
+    }
+
+    /// Tracing is non-perturbing: a fully recorded run and a detached run
+    /// produce bit-identical `DiskRunStats`.
+    #[test]
+    fn tracing_does_not_perturb_the_run(
+        trace in trace_strategy(),
+        method in method_strategy(),
+        scheme in scheme_strategy(),
+    ) {
+        let cfg = EngineConfig::paper(method, scheme);
+        let bare = DiskEngine::new(cfg.clone())
+            .expect("paper config is valid")
+            .run(&trace);
+        let recorder = Arc::new(RecorderSink::new());
+        let traced = DiskEngine::with_observer(cfg, Obs::new(recorder as Arc<dyn vod_obs::Sink>))
+            .expect("paper config is valid")
+            .run(&trace);
+        prop_assert_eq!(bare, traced);
+    }
+}
