@@ -8,6 +8,8 @@
 //! repro bench [--smoke] [--out <file>]
 //! repro cluster [--smoke] [--trace <file.jsonl>] [--out <file>]
 //! repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]
+//! repro report <trace.jsonl> [--out <file.md>] [--series-csv <file.csv>]
+//! repro compare <old.json> <new.json> [--tolerance <x>]
 //! repro --list
 //! ```
 //!
@@ -61,9 +63,10 @@ use std::time::Instant;
 
 use vod_analysis::{write_csv, Table};
 use vod_bench::{
-    check_against_baseline, check_cluster_against_baseline, fig10, fig11, fig12, fig13, fig14,
-    fig6, fig7, fig8, fig9, gss_g, merge_cluster_into_baseline, run_bench, run_cluster_bench,
-    run_cluster_bench_traced, tab3, tab4, tab5, traceview, vcr, BenchMode, ClusterBenchMode, Scale,
+    check_against_baseline, check_cluster_against_baseline, compare, fig10, fig11, fig12, fig13,
+    fig14, fig6, fig7, fig8, fig9, gss_g, merge_cluster_into_baseline, report, run_bench,
+    run_cluster_bench, run_cluster_bench_traced, tab3, tab4, tab5, traceview, vcr, BenchMode,
+    ClusterBenchMode, Scale,
 };
 use vod_obs::metrics::{CTR_EVENTS_DROPPED, CTR_SPANS_DROPPED};
 use vod_obs::{
@@ -134,6 +137,8 @@ fn print_usage() {
          [--flight <file.jsonl>]"
     );
     eprintln!("       repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]");
+    eprintln!("       repro report <trace.jsonl> [--out <file.md>] [--series-csv <file.csv>]");
+    eprintln!("       repro compare <old.json> <new.json> [--tolerance <x>]");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<6} {desc}");
@@ -143,6 +148,10 @@ fn print_usage() {
         "  cluster  cluster_scaling matrix (nodes x placement x dispatch) -> BENCH_cluster.json"
     );
     eprintln!("  trace-analyze  span trees, latency breakdowns, invariant audit of a trace");
+    eprintln!("  report   markdown run report (series timelines, latencies, audits) from a trace");
+    eprintln!(
+        "  compare  diff two BENCH_*.json documents; exit 1 on regression, 2 if incomparable"
+    );
 }
 
 /// Arms a flight recorder that appends anomaly dumps to `path`. Shared
@@ -237,6 +246,163 @@ fn trace_analyze_main(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `repro report <trace.jsonl> [--out <file.md>] [--series-csv <file.csv>]`:
+/// renders the self-contained markdown run report (series timelines,
+/// latency breakdowns, estimator audits, flight-dump cross-references)
+/// from a trace file. `--series-csv` additionally re-exports every
+/// embedded series as flat CSV.
+fn report_main(args: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--out" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--out requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(p));
+            }
+            "--series-csv" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--series-csv requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                csv = Some(PathBuf::from(p));
+            }
+            other if !other.starts_with("--") && file.is_none() => {
+                file = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown report option `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("report requires a trace file argument");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let md = match report::render_run_report(&src) {
+        Ok(md) => md,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inventory = report::series_inventory(&src);
+    for (scope, names) in &inventory {
+        eprintln!("series: scope `{scope}`: {}", names.join(", "));
+    }
+    if let Some(csv_path) = &csv {
+        if let Err(e) = std::fs::write(csv_path, report::series_csv(&src)) {
+            eprintln!("error: could not write {}: {e}", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[series CSV -> {}]", csv_path.display());
+    }
+    match &out {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(out_path, md) {
+                eprintln!("error: could not write {}: {e}", out_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[report -> {}]", out_path.display());
+        }
+        None => print!("{md}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro compare <old.json> <new.json> [--tolerance <x>]`: cross-run
+/// regression analytics over two saved bench documents. Exit 0 when the
+/// new run matches, 1 on regression, 2 when the documents are not
+/// comparable (different schema, fingerprint, or matrix shape).
+fn compare_main(args: &[String]) -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut tolerance = compare::DEFAULT_TOLERANCE;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let parsed = iter.next().and_then(|v| v.parse::<f64>().ok());
+                let Some(x) = parsed.filter(|x| *x >= 1.0) else {
+                    eprintln!("--tolerance requires a factor >= 1.0");
+                    return ExitCode::FAILURE;
+                };
+                tolerance = x;
+            }
+            other if !other.starts_with("--") && files.len() < 2 => {
+                files.push(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown compare option `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("compare requires exactly two document arguments: <old.json> <new.json>");
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    let mut docs = Vec::with_capacity(2);
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(s) => docs.push(s),
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let result = compare::compare_documents(&docs[0], &docs[1], tolerance);
+    for line in &result.info {
+        eprintln!("compare: {line}");
+    }
+    for problem in &result.problems {
+        eprintln!("compare PROBLEM: {problem}");
+    }
+    match result.verdict {
+        compare::CompareVerdict::Matches => {
+            eprintln!(
+                "[compare OK: {} matches {} (tolerance {tolerance}x)]",
+                files[1].display(),
+                files[0].display()
+            );
+            ExitCode::SUCCESS
+        }
+        compare::CompareVerdict::Regression => {
+            eprintln!(
+                "[compare FAILED: {} regressed against {}]",
+                files[1].display(),
+                files[0].display()
+            );
+            ExitCode::FAILURE
+        }
+        compare::CompareVerdict::Incompatible => {
+            eprintln!(
+                "[compare REFUSED: {} and {} do not describe the same experiment]",
+                files[0].display(),
+                files[1].display()
+            );
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -582,6 +748,12 @@ fn main() -> ExitCode {
     }
     if args[0] == "trace-analyze" {
         return trace_analyze_main(&args[1..]);
+    }
+    if args[0] == "report" {
+        return report_main(&args[1..]);
+    }
+    if args[0] == "compare" {
+        return compare_main(&args[1..]);
     }
     let mut scale = Scale::Full;
     let mut names: Vec<String> = Vec::new();

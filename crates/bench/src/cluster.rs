@@ -17,12 +17,13 @@
 //! matrix in [`crate::perf`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant as WallInstant;
 
 use vod_cluster::{Cluster, ClusterConfig, DispatchPolicy, PlacementPolicy};
 use vod_core::SchemeKind;
 use vod_obs::json::{Array, Object};
+use vod_obs::timeseries::SeriesRecorder;
 use vod_obs::Obs;
 use vod_sched::SchedulingMethod;
 use vod_sim::EngineConfig;
@@ -147,6 +148,29 @@ impl ClusterBenchMode {
             ],
         }
     }
+
+    /// Fingerprint over everything that pins this mode's matrix — the
+    /// cluster analogue of [`crate::perf::BenchMode::config_fingerprint`].
+    #[must_use]
+    pub fn config_fingerprint(self) -> String {
+        let mut parts = vec![
+            "cluster".to_owned(),
+            self.label().to_owned(),
+            format!("seed={}", self.seed()),
+            format!("movies={}", self.movies()),
+            format!("arrivals_per_node={}", self.arrivals_per_node()),
+            format!("horizon_hours={}", self.horizon_hours()),
+        ];
+        for spec in self.cells() {
+            parts.push(format!(
+                "{}/{}/{}",
+                spec.nodes,
+                spec.placement.label(),
+                spec.dispatch.label()
+            ));
+        }
+        crate::compare::fingerprint(parts)
+    }
 }
 
 /// One node's share of a cluster cell.
@@ -169,6 +193,10 @@ pub struct ClusterNodeCell {
     /// `1 − peak / min_memory_static(N_cap)` for this node: the share
     /// of a static worst-case reservation the dynamic sizing avoided.
     pub memory_saving_vs_static: f64,
+    /// Estimator-audit windows scored on this node.
+    pub audit_samples: u64,
+    /// Audit windows whose estimate fell short of the actual count.
+    pub audit_violations: u64,
 }
 
 /// Measurements from one `(nodes, placement, dispatch)` cell.
@@ -253,6 +281,8 @@ impl ClusterCellResult {
             no.uint("redirected_out", n.redirected_out);
             no.num("peak_memory_mib", n.peak_memory_mib);
             no.num("memory_saving_vs_static", n.memory_saving_vs_static);
+            no.uint("audit_samples", n.audit_samples);
+            no.uint("audit_violations", n.audit_violations);
             nodes.raw(&no.finish());
         }
         o.raw("per_node", &nodes.finish());
@@ -280,11 +310,20 @@ impl ClusterBenchReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut o = Object::new();
-        o.uint("version", 1);
+        o.uint("version", crate::compare::BENCH_SCHEMA_VERSION);
         o.str("mode", self.mode.label());
         o.uint("seed", self.seed);
         o.uint("movies", self.mode.movies() as u64);
         o.num("arrivals_per_node", self.mode.arrivals_per_node());
+        o.str("config_fingerprint", &self.mode.config_fingerprint());
+        let mut matrix = Object::new();
+        matrix.uint("cells", self.cells.len() as u64);
+        let mut node_counts = Array::new();
+        for c in &self.cells {
+            node_counts.raw(&c.nodes.to_string());
+        }
+        matrix.raw("nodes", &node_counts.finish());
+        o.raw("matrix", &matrix.finish());
         let mut cells = Array::new();
         for c in &self.cells {
             cells.raw(&c.to_json());
@@ -292,6 +331,34 @@ impl ClusterBenchReport {
         o.raw("cells", &cells.finish());
         o.num("total_wall_clock_s", self.total_wall_clock_s);
         o.finish()
+    }
+}
+
+/// Time-series recorders for one traced cell: one cluster-wide scope
+/// (imbalance ratio) plus one per node (engine series and front-end
+/// load/redirection series).
+struct CellSeries {
+    cluster: SeriesRecorder,
+    nodes: Vec<Arc<SeriesRecorder>>,
+}
+
+impl CellSeries {
+    fn new(nodes: usize) -> Self {
+        CellSeries {
+            cluster: SeriesRecorder::new("cluster"),
+            nodes: (0..nodes)
+                .map(|i| Arc::new(SeriesRecorder::new(&format!("node{i}"))))
+                .collect(),
+        }
+    }
+
+    /// Appends every recorded series as `{"kind":"series",..}` JSONL
+    /// lines: cluster scope first, then nodes in index order.
+    fn append_jsonl(&self, out: &mut String) {
+        out.push_str(&self.cluster.export_jsonl());
+        for rec in &self.nodes {
+            out.push_str(&rec.export_jsonl());
+        }
     }
 }
 
@@ -322,11 +389,17 @@ fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec) -> ClusterConfig {
 /// `lifecycle_trace_only` is the traced runner's knob: keep first-fill
 /// service spans but skip steady-state per-cycle ones (emission-only —
 /// see [`Cluster::set_per_cycle_tracing`]).
+///
+/// `series` optionally attaches time-series recorders (one cluster-wide
+/// scope plus one per node) before the run; like span emission, sampling
+/// reads state the cluster already maintains, so attaching it never
+/// perturbs the deterministic counters.
 fn run_cluster_cell(
     mode: ClusterBenchMode,
     spec: ClusterCellSpec,
     obs: &Obs,
     lifecycle_trace_only: bool,
+    series: Option<&CellSeries>,
 ) -> ClusterCellResult {
     let mut wl_cfg = MultiMovieConfig::paper_cluster(
         mode.movies(),
@@ -360,6 +433,9 @@ fn run_cluster_cell(
     if lifecycle_trace_only {
         cluster.set_per_cycle_tracing(false);
     }
+    if let Some(s) = series {
+        cluster.set_series_recorders(&s.cluster, &s.nodes);
+    }
     let report = cluster.run(&wl.arrivals);
     let wall_clock_s = t0.elapsed().as_secs_f64();
 
@@ -376,6 +452,8 @@ fn run_cluster_cell(
             redirected_out: n.redirected_out,
             peak_memory_mib: n.stats.peak_memory.as_mebibytes(),
             memory_saving_vs_static: n.memory_saving_vs_static(params),
+            audit_samples: n.audit.samples as u64,
+            audit_violations: n.audit.violations as u64,
         })
         .collect();
     let served: Vec<f64> = per_node
@@ -450,7 +528,7 @@ pub fn run_cluster_bench(
             .enumerate()
             .map(|(i, &spec)| {
                 announce(i, spec);
-                run_cluster_cell(mode, spec, obs, false)
+                run_cluster_cell(mode, spec, obs, false, None)
             })
             .collect()
     } else {
@@ -465,7 +543,7 @@ pub fn run_cluster_bench(
                         break;
                     }
                     announce(i, specs[i]);
-                    let result = run_cluster_cell(mode, specs[i], obs, false);
+                    let result = run_cluster_cell(mode, specs[i], obs, false, None);
                     *slots[i]
                         .lock()
                         .expect("cluster bench slot mutex poisoned: a worker panicked") =
@@ -551,7 +629,8 @@ pub fn run_cluster_bench_traced(
             None => std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn vod_obs::Sink>,
         };
         let obs = Obs::new(cell_sink).with_metrics(base_obs.metrics().clone());
-        let cell = run_cluster_cell(mode, spec, &obs, true);
+        let series = CellSeries::new(spec.nodes);
+        let cell = run_cluster_cell(mode, spec, &obs, true, Some(&series));
         let snap = recorder.snapshot();
 
         let mut header = Object::new();
@@ -580,6 +659,20 @@ pub fn run_cluster_bench_traced(
         summary.raw("per_node", &nodes.finish());
         trace_out.push_str(&summary.finish());
         trace_out.push('\n');
+
+        // Cycle-indexed time series sampled during the cell, then one
+        // audit marker per node — both marker kinds `repro report`
+        // renders and `trace-analyze` skips.
+        series.append_jsonl(trace_out);
+        for n in &cell.per_node {
+            let mut audit = Object::new();
+            audit.str("kind", "audit");
+            audit.str("scope", &format!("node{}", n.node));
+            audit.uint("samples", n.audit_samples);
+            audit.uint("violations", n.audit_violations);
+            trace_out.push_str(&audit.finish());
+            trace_out.push('\n');
+        }
 
         cells.push(cell);
     }
@@ -674,6 +767,37 @@ mod tests {
         );
         // The smoke matrix exercises redirection, so hops must appear.
         assert!(traced.cells.iter().any(|c| c.redirected > 0));
+
+        // Acceptance bar for `repro report`: the trace carries at least
+        // five distinct engine series per node plus the front-end and
+        // cluster-scope series, and the markdown report renders them.
+        let inventory = crate::report::series_inventory(&trace);
+        assert!(
+            inventory["cluster"].contains(&"imbalance_ratio".to_owned()),
+            "{inventory:?}"
+        );
+        for node in ["node0", "node1"] {
+            let names = &inventory[node];
+            assert!(
+                names.len() >= 5 + 2,
+                "{node} must carry the 5 engine series plus load/redirections: {names:?}"
+            );
+            for expected in [
+                "pool_used_bits",
+                "active_streams",
+                "admission_headroom",
+                "deferral_queue_depth",
+                "cycle_service_s",
+                "load",
+                "redirections",
+            ] {
+                assert!(names.contains(&expected.to_owned()), "{node}: {names:?}");
+            }
+        }
+        let md = crate::report::render_run_report(&trace).expect("report renders");
+        assert!(md.contains("## Time series"));
+        assert!(md.contains("scope `node1`"));
+        assert!(md.contains("## Estimator audits"));
     }
 
     /// The `--jobs` acceptance bar, cluster edition: any worker count

@@ -1,0 +1,454 @@
+//! `repro compare`: cross-run regression analytics over two bench
+//! documents.
+//!
+//! Where `--check` ([`crate::baseline`]) gates a *fresh run* against one
+//! committed baseline, `compare` diffs any two saved `BENCH_perf.json` /
+//! `BENCH_cluster.json` documents — the perf *trajectory* view: exact
+//! equality on every deterministic counter, tolerance-gated deltas on
+//! the host-dependent ones (wall-clock, cycles/second), and per-phase
+//! p95 drift. Non-zero exit on regression makes it the CI perf check.
+//!
+//! ## Compatibility refusal
+//!
+//! Two documents are only comparable when they describe the same
+//! experiment. Both must carry the PR 6 metadata stamp — `version`
+//! (schema), `config_fingerprint` (an FNV-1a hash over the pinned
+//! matrix configuration), and `matrix` (the shape) — and the stamps
+//! must agree; otherwise the diff would be apples-to-oranges garbage
+//! and [`compare_documents`] refuses with [`CompareVerdict::Incompatible`]
+//! instead of reporting deltas.
+
+use crate::baseline::{parse, Json};
+
+/// Schema version stamped into bench documents by this revision of the
+/// writers ([`crate::perf::BenchReport::to_json`],
+/// [`crate::cluster::ClusterBenchReport::to_json`]).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Default wall-clock / throughput slowdown factor tolerated before a
+/// delta counts as a regression. Matches the historical baseline gate
+/// ([`crate::baseline::WALL_CLOCK_SLOWDOWN_LIMIT`]): loose enough for
+/// cross-host CI noise, tight enough for order-of-magnitude slips.
+pub const DEFAULT_TOLERANCE: f64 = crate::baseline::WALL_CLOCK_SLOWDOWN_LIMIT;
+
+/// FNV-1a 64-bit over `parts`, with a separator byte folded in between
+/// parts so `["ab","c"]` and `["a","bc"]` hash differently. Pure and
+/// dependency-free — the fingerprint must be reproducible anywhere.
+#[must_use]
+pub fn fingerprint<I, S>(parts: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for part in parts {
+        for &b in part.as_ref().as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0x1f; // unit separator
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+/// Outcome class of a document comparison (maps to the process exit
+/// code: 0 / 1 / 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareVerdict {
+    /// Every deterministic field matches and every gated delta is
+    /// within tolerance.
+    Matches,
+    /// At least one exact counter drifted or a gated delta exceeded
+    /// the tolerance.
+    Regression,
+    /// The documents do not describe the same experiment (or do not
+    /// parse); no deltas were computed.
+    Incompatible,
+}
+
+/// The rendered result of [`compare_documents`].
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// The verdict class.
+    pub verdict: CompareVerdict,
+    /// Problems found (exact drift, out-of-tolerance deltas, or the
+    /// incompatibility reasons). Empty when `verdict` is `Matches`.
+    pub problems: Vec<String>,
+    /// Informational delta lines (speed ratios, in-tolerance drift),
+    /// one per cell.
+    pub info: Vec<String>,
+}
+
+/// Which matrix a bench document describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DocKind {
+    Engine,
+    Cluster,
+}
+
+fn doc_kind(doc: &Json) -> Option<DocKind> {
+    let mode = doc.get("mode").and_then(Json::as_str)?;
+    if mode.starts_with("cluster_") {
+        Some(DocKind::Cluster)
+    } else {
+        Some(DocKind::Engine)
+    }
+}
+
+/// Checks the metadata stamps agree; returns refusal reasons otherwise.
+fn compatibility_problems(old: &Json, new: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+
+    let (old_kind, new_kind) = (doc_kind(old), doc_kind(new));
+    match (old_kind, new_kind) {
+        (Some(a), Some(b)) if a != b => {
+            problems.push(format!("document kinds differ: old is {a:?}, new is {b:?}"))
+        }
+        (None, _) | (_, None) => {
+            problems.push("a document carries no `mode` — not a bench report".into());
+        }
+        _ => {}
+    }
+    let old_mode = old.get("mode").and_then(Json::as_str).unwrap_or("?");
+    let new_mode = new.get("mode").and_then(Json::as_str).unwrap_or("?");
+    if old_mode != new_mode {
+        problems.push(format!("mode mismatch: old `{old_mode}`, new `{new_mode}`"));
+    }
+
+    for (key, kind) in [
+        ("version", "schema version"),
+        ("config_fingerprint", "config fingerprint"),
+    ] {
+        let o = old.get(key);
+        let n = new.get(key);
+        match (o, n) {
+            (Some(a), Some(b)) if a != b => problems.push(format!(
+                "{kind} mismatch ({key}): old {}, new {} — these runs used different {}; regenerate the older document",
+                render_short(a),
+                render_short(b),
+                if key == "version" { "report schemas" } else { "pinned configurations" },
+            )),
+            (None, _) => problems.push(format!(
+                "old document carries no `{key}` (written before the metadata stamp); regenerate it with this binary"
+            )),
+            (_, None) => problems.push(format!(
+                "new document carries no `{key}` (written before the metadata stamp); regenerate it with this binary"
+            )),
+            _ => {}
+        }
+    }
+
+    let (o, n) = (old.get("matrix"), new.get("matrix"));
+    match (o, n) {
+        (Some(a), Some(b)) if a != b => problems.push(format!(
+            "matrix shape mismatch: old {}, new {}",
+            render_short(a),
+            render_short(b)
+        )),
+        (None, _) | (_, None) => {
+            problems.push(
+                "a document carries no `matrix` stamp; regenerate it with this binary".into(),
+            );
+        }
+        _ => {}
+    }
+
+    problems
+}
+
+fn render_short(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Num(x) if x.fract() == 0.0 => format!("{}", *x as i64),
+        Json::Num(x) => format!("{x}"),
+        Json::Obj(m) => {
+            let parts: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{k}={}", render_short(v)))
+                .collect();
+            format!("{{{}}}", parts.join(","))
+        }
+        Json::Arr(a) => {
+            let parts: Vec<String> = a.iter().map(render_short).collect();
+            format!("[{}]", parts.join(","))
+        }
+        Json::Bool(b) => b.to_string(),
+        Json::Null => "null".into(),
+    }
+}
+
+/// The deterministic per-cell counters diffed exactly, per kind.
+fn exact_counters(kind: DocKind) -> &'static [&'static str] {
+    match kind {
+        DocKind::Engine => &[
+            "cycles",
+            "services",
+            "admitted",
+            "deferred",
+            "rejected",
+            "underflows",
+        ],
+        DocKind::Cluster => &[
+            "dispatched",
+            "admitted",
+            "deferred",
+            "rejected",
+            "redirected",
+            "overflow_queued",
+            "underflows",
+        ],
+    }
+}
+
+fn cell_label(kind: DocKind, cell: &Json) -> String {
+    match kind {
+        DocKind::Engine => format!(
+            "{}/{}/θ={}",
+            cell.get("scheme").and_then(Json::as_str).unwrap_or("?"),
+            cell.get("method").and_then(Json::as_str).unwrap_or("?"),
+            cell.get("theta").and_then(Json::as_f64).unwrap_or(f64::NAN),
+        ),
+        DocKind::Cluster => format!(
+            "{}n/{}/{}",
+            cell.get("nodes")
+                .and_then(Json::as_u64)
+                .map_or_else(|| "?".into(), |n| n.to_string()),
+            cell.get("placement").and_then(Json::as_str).unwrap_or("?"),
+            cell.get("dispatch").and_then(Json::as_str).unwrap_or("?"),
+        ),
+    }
+}
+
+/// Diffs one pair of cells; pushes problems/info in place.
+fn compare_cell(
+    kind: DocKind,
+    label: &str,
+    old: &Json,
+    new: &Json,
+    tolerance: f64,
+    problems: &mut Vec<String>,
+    info: &mut Vec<String>,
+) {
+    for key in exact_counters(kind) {
+        let o = old.get(key).and_then(Json::as_u64);
+        let n = new.get(key).and_then(Json::as_u64);
+        if o != n {
+            problems.push(format!("{label}: {key} old {o:?} != new {n:?}"));
+        }
+    }
+    let o_peak = old.get("peak_memory_mib").and_then(Json::as_f64);
+    let n_peak = new.get("peak_memory_mib").and_then(Json::as_f64);
+    if o_peak.map(f64::to_bits) != n_peak.map(f64::to_bits) {
+        problems.push(format!(
+            "{label}: peak_memory_mib old {o_peak:?} != new {n_peak:?} (deterministic; must be bit-identical)"
+        ));
+    }
+
+    let o_wall = old
+        .get("wall_clock_s")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let n_wall = new
+        .get("wall_clock_s")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if o_wall > 0.0 && n_wall > o_wall * tolerance {
+        problems.push(format!(
+            "{label}: wall-clock {n_wall:.2}s is more than {tolerance}x the old {o_wall:.2}s"
+        ));
+    }
+    if o_wall > 0.0 && n_wall > 0.0 {
+        info.push(format!(
+            "{label}: {:.2}x old speed ({n_wall:.2}s vs {o_wall:.2}s)",
+            o_wall / n_wall
+        ));
+    }
+    if kind == DocKind::Engine {
+        let o_cps = old
+            .get("cycles_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let n_cps = new
+            .get("cycles_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if o_cps > 0.0 && n_cps > 0.0 && n_cps < o_cps / tolerance {
+            problems.push(format!(
+                "{label}: throughput fell to {n_cps:.0} cycles/s from {o_cps:.0} (more than {tolerance}x)"
+            ));
+        }
+
+        // Per-phase p95 drift: phase timings are host wall-clock, so
+        // drift is tolerance-gated like the cell wall-clock.
+        if let (Some(Json::Obj(op)), Some(Json::Obj(np))) = (old.get("phases"), new.get("phases")) {
+            for (phase, o_hist) in op {
+                let Some(n_hist) = np.get(phase) else {
+                    continue;
+                };
+                let o95 = o_hist.get("p95").and_then(Json::as_f64).unwrap_or(0.0);
+                let n95 = n_hist.get("p95").and_then(Json::as_f64).unwrap_or(0.0);
+                if o95 > 0.0 && n95 > o95 * tolerance {
+                    problems.push(format!(
+                        "{label}: phase {phase} p95 {n95:.3e}s is more than {tolerance}x the old {o95:.3e}s"
+                    ));
+                } else if o95 > 0.0 && n95 > 0.0 {
+                    info.push(format!("{label}: phase {phase} p95 {:.2}x old", n95 / o95));
+                }
+            }
+        }
+    }
+}
+
+/// Diffs two bench documents (both `BENCH_perf.json`-shaped or both
+/// `BENCH_cluster.json`-shaped). See the module docs for the rules.
+#[must_use]
+pub fn compare_documents(old_src: &str, new_src: &str, tolerance: f64) -> CompareReport {
+    let incompatible = |problems: Vec<String>| CompareReport {
+        verdict: CompareVerdict::Incompatible,
+        problems,
+        info: Vec::new(),
+    };
+
+    let old = match parse(old_src) {
+        Ok(v) => v,
+        Err(e) => return incompatible(vec![format!("old document does not parse: {e}")]),
+    };
+    let new = match parse(new_src) {
+        Ok(v) => v,
+        Err(e) => return incompatible(vec![format!("new document does not parse: {e}")]),
+    };
+
+    let problems = compatibility_problems(&old, &new);
+    if !problems.is_empty() {
+        return incompatible(problems);
+    }
+    let kind = doc_kind(&old).expect("compatibility check verified the mode");
+
+    let empty: Vec<Json> = Vec::new();
+    let old_cells = old.get("cells").and_then(Json::as_arr).unwrap_or(&empty);
+    let new_cells = new.get("cells").and_then(Json::as_arr).unwrap_or(&empty);
+    if old_cells.len() != new_cells.len() {
+        return incompatible(vec![format!(
+            "cell count mismatch despite matching matrix stamp: old {}, new {}",
+            old_cells.len(),
+            new_cells.len()
+        )]);
+    }
+
+    let mut problems = Vec::new();
+    let mut info = Vec::new();
+    for (o, n) in old_cells.iter().zip(new_cells) {
+        let label = cell_label(kind, n);
+        if cell_label(kind, o) != label {
+            problems.push(format!(
+                "cell order mismatch: old {} vs new {label}",
+                cell_label(kind, o)
+            ));
+            continue;
+        }
+        compare_cell(kind, &label, o, n, tolerance, &mut problems, &mut info);
+    }
+
+    CompareReport {
+        verdict: if problems.is_empty() {
+            CompareVerdict::Matches
+        } else {
+            CompareVerdict::Regression
+        },
+        problems,
+        info,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_parts() {
+        assert_ne!(fingerprint(["ab", "c"]), fingerprint(["a", "bc"]));
+        assert_eq!(fingerprint(["a", "b"]), fingerprint(["a", "b"]));
+        assert_eq!(fingerprint(["x"]).len(), 16);
+    }
+
+    fn smoke_json() -> String {
+        crate::perf::run_bench(crate::perf::BenchMode::Smoke, 1, &|_| {}).to_json()
+    }
+
+    #[test]
+    fn self_compare_matches() {
+        let doc = smoke_json();
+        let r = compare_documents(&doc, &doc, DEFAULT_TOLERANCE);
+        assert_eq!(r.verdict, CompareVerdict::Matches, "{:?}", r.problems);
+        assert!(!r.info.is_empty(), "per-cell speed lines expected");
+    }
+
+    #[test]
+    fn injected_counter_mismatch_is_a_regression() {
+        let doc = smoke_json();
+        let parsed = parse(&doc).expect("parses");
+        let cycles = parsed.get("cells").and_then(Json::as_arr).unwrap()[0]
+            .get("cycles")
+            .and_then(Json::as_u64)
+            .expect("cycles present");
+        let broken = doc.replacen(
+            &format!("\"cycles\":{cycles}"),
+            &format!("\"cycles\":{}", cycles + 1),
+            1,
+        );
+        assert_ne!(doc, broken);
+        let r = compare_documents(&doc, &broken, DEFAULT_TOLERANCE);
+        assert_eq!(r.verdict, CompareVerdict::Regression);
+        assert!(
+            r.problems.iter().any(|p| p.contains("cycles")),
+            "{:?}",
+            r.problems
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused_not_diffed() {
+        let doc = smoke_json();
+        let parsed = parse(&doc).expect("parses");
+        let fp = parsed
+            .get("config_fingerprint")
+            .and_then(Json::as_str)
+            .expect("stamped")
+            .to_owned();
+        let other = doc.replacen(&fp, &fingerprint(["something-else"]), 1);
+        assert_ne!(doc, other);
+        let r = compare_documents(&doc, &other, DEFAULT_TOLERANCE);
+        assert_eq!(r.verdict, CompareVerdict::Incompatible);
+        assert!(
+            r.problems.iter().any(|p| p.contains("config_fingerprint")),
+            "{:?}",
+            r.problems
+        );
+    }
+
+    #[test]
+    fn unstamped_document_is_refused_with_a_clear_error() {
+        let doc = smoke_json();
+        let old = r#"{"version":1,"mode":"smoke","seeds":[1],"cells":[],"total_wall_clock_s":1.0}"#;
+        let r = compare_documents(old, &doc, DEFAULT_TOLERANCE);
+        assert_eq!(r.verdict, CompareVerdict::Incompatible);
+        assert!(
+            r.problems
+                .iter()
+                .any(|p| p.contains("config_fingerprint") && p.contains("regenerate")),
+            "{:?}",
+            r.problems
+        );
+    }
+
+    #[test]
+    fn engine_vs_cluster_documents_are_incompatible() {
+        let engine = smoke_json();
+        let cluster = r#"{"version":2,"mode":"cluster_smoke","config_fingerprint":"00","matrix":{"cells":2}}"#;
+        let r = compare_documents(&engine, cluster, DEFAULT_TOLERANCE);
+        assert_eq!(r.verdict, CompareVerdict::Incompatible);
+    }
+}

@@ -10,8 +10,10 @@
 
 pub mod baseline;
 pub mod cluster;
+pub mod compare;
 pub mod experiments;
 pub mod perf;
+pub mod report;
 pub mod scale;
 pub mod traceview;
 
@@ -22,8 +24,10 @@ pub use cluster::{
     run_cluster_bench, run_cluster_bench_traced, ClusterBenchMode, ClusterBenchReport,
     ClusterCellResult,
 };
+pub use compare::{compare_documents, CompareReport, CompareVerdict};
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr,
 };
 pub use perf::{run_bench, BenchMode, BenchReport, CellResult};
+pub use report::render_run_report;
 pub use scale::Scale;

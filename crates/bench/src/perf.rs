@@ -102,6 +102,30 @@ impl BenchMode {
             ],
         }
     }
+
+    /// Fingerprint over everything that pins this mode's matrix: the
+    /// mode itself, the workload scale, the seeds, and every cell spec.
+    /// Two documents with different fingerprints came from different
+    /// experiments and `repro compare` refuses to diff them.
+    #[must_use]
+    pub fn config_fingerprint(self) -> String {
+        let mut parts = vec![
+            "engine".to_owned(),
+            self.label().to_owned(),
+            format!("{:?}", self.scale()),
+        ];
+        for s in self.seeds() {
+            parts.push(format!("seed={s}"));
+        }
+        for (scheme, method, theta) in self.cells() {
+            parts.push(format!(
+                "{}/{}/{theta}",
+                scheme_label(scheme),
+                method.label()
+            ));
+        }
+        crate::compare::fingerprint(parts)
+    }
 }
 
 /// Measurements from one `(scheme, method, θ)` cell.
@@ -188,7 +212,7 @@ impl BenchReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut o = Object::new();
-        o.uint("version", 1);
+        o.uint("version", crate::compare::BENCH_SCHEMA_VERSION);
         o.str("mode", self.mode.label());
         o.str(
             "scale",
@@ -197,6 +221,11 @@ impl BenchReport {
                 Scale::Quick => "quick",
             },
         );
+        o.str("config_fingerprint", &self.mode.config_fingerprint());
+        let mut matrix = Object::new();
+        matrix.uint("cells", self.cells.len() as u64);
+        matrix.uint("seeds", self.seeds.len() as u64);
+        o.raw("matrix", &matrix.finish());
         let mut seeds = Array::new();
         for &s in &self.seeds {
             seeds.raw(&s.to_string());

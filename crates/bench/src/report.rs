@@ -1,0 +1,458 @@
+//! `repro report`: a self-contained markdown run report rendered from a
+//! trace JSONL file.
+//!
+//! The input is the combined stream `repro cluster --trace` (or
+//! `repro --trace`) writes: section markers, span/request events,
+//! `{"kind":"series",..}` cycle-indexed time-series lines,
+//! `{"kind":"audit",..}` estimator-audit markers, and
+//! `{"kind":"flight_dump",..}` anomaly snapshots. The report stitches
+//! all of them into one document:
+//!
+//! - per-section span statistics and latency breakdowns (reusing
+//!   [`crate::traceview::analyze`]),
+//! - every recorded series as a sparkline table row (n, stride, min /
+//!   mean / max / last, and a fixed-width unicode sparkline),
+//! - per-node estimator audits,
+//! - flight-recorder dumps cross-referenced to the cycle index at which
+//!   they fired (the last series sample at or before the dump's first
+//!   event time).
+//!
+//! Everything here is a pure function of the trace text, so the report
+//! is as deterministic as the trace itself (wall-clock never appears).
+
+use std::collections::BTreeMap;
+
+use crate::baseline::{parse, Json};
+use crate::traceview;
+
+/// One parsed `{"kind":"series",..}` line.
+#[derive(Clone, Debug)]
+struct SeriesLine {
+    scope: String,
+    name: String,
+    stride: u64,
+    count: u64,
+    /// `(index, t, value)` triples, in index order.
+    points: Vec<(u64, f64, f64)>,
+}
+
+/// One parsed `{"kind":"audit",..}` line.
+#[derive(Clone, Debug)]
+struct AuditLine {
+    scope: String,
+    samples: u64,
+    violations: u64,
+}
+
+/// One flight dump with the time of its first captured event.
+#[derive(Clone, Debug)]
+struct DumpLine {
+    reason: String,
+    seq: u64,
+    dropped: u64,
+    first_event_t: Option<f64>,
+}
+
+/// Glyph ramp used for sparklines, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Sparkline column width: series longer than this are resampled by
+/// position bucketing so every row lines up.
+const SPARK_WIDTH: usize = 40;
+
+fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = values.len().min(SPARK_WIDTH);
+    let mut out = String::with_capacity(width * 3);
+    for b in 0..width {
+        // Position bucket [lo, hi) of the samples this glyph covers.
+        let lo = b * values.len() / width;
+        let hi = (((b + 1) * values.len()) / width).max(lo + 1);
+        let bucket = &values[lo..hi];
+        let v = bucket.iter().sum::<f64>() / bucket.len() as f64;
+        let level = if max > min {
+            (((v - min) / (max - min)) * (SPARKS.len() - 1) as f64).round() as usize
+        } else {
+            SPARKS.len() / 2
+        };
+        out.push(SPARKS[level.min(SPARKS.len() - 1)]);
+    }
+    out
+}
+
+fn parse_series(v: &Json) -> Option<SeriesLine> {
+    let mut points = Vec::new();
+    for triple in v.get("points")?.as_arr()? {
+        let t = triple.as_arr()?;
+        if t.len() != 3 {
+            return None;
+        }
+        points.push((t[0].as_u64()?, t[1].as_f64()?, t[2].as_f64()?));
+    }
+    Some(SeriesLine {
+        scope: v.get("scope")?.as_str()?.to_owned(),
+        name: v.get("name")?.as_str()?.to_owned(),
+        stride: v.get("stride")?.as_u64()?,
+        count: v.get("count")?.as_u64()?,
+        points,
+    })
+}
+
+fn num(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_owned();
+    }
+    let a = x.abs();
+    if (1e-3..1e7).contains(&a) && x.fract() == 0.0 {
+        format!("{x}")
+    } else if (1e-3..1e7).contains(&a) {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Renders the markdown run report for a trace file.
+///
+/// # Errors
+///
+/// Returns the first malformed line (the same parser as
+/// `trace-analyze`).
+pub fn render_run_report(src: &str) -> Result<String, String> {
+    let analysis = traceview::analyze(src, 3)?;
+
+    // Second pass for the marker kinds analyze skips. Series lines are
+    // grouped per section in file order; the section labels below
+    // mirror analyze's so the tables can be cross-read.
+    let mut section = String::from("(unnamed)");
+    let mut series: Vec<(String, SeriesLine)> = Vec::new();
+    let mut audits: Vec<(String, AuditLine)> = Vec::new();
+    let mut dumps: Vec<DumpLine> = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: not JSON: {e}", i + 1))?;
+        let kind = v.get("kind").and_then(Json::as_str).unwrap_or("");
+        match kind {
+            "experiment" => {
+                section = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("experiment")
+                    .to_owned();
+            }
+            "cluster_cell" => {
+                section = format!(
+                    "cluster {} nodes / {} / {}",
+                    v.get("nodes").and_then(Json::as_u64).unwrap_or(0),
+                    v.get("placement").and_then(Json::as_str).unwrap_or("?"),
+                    v.get("dispatch").and_then(Json::as_str).unwrap_or("?"),
+                );
+            }
+            "series" => {
+                let s = parse_series(&v)
+                    .ok_or_else(|| format!("line {}: malformed series line", i + 1))?;
+                series.push((section.clone(), s));
+            }
+            "audit" => audits.push((
+                section.clone(),
+                AuditLine {
+                    scope: v
+                        .get("scope")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_owned(),
+                    samples: v.get("samples").and_then(Json::as_u64).unwrap_or(0),
+                    violations: v.get("violations").and_then(Json::as_u64).unwrap_or(0),
+                },
+            )),
+            "flight_dump" => dumps.push(DumpLine {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+                seq: v.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                dropped: v.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+                first_event_t: None,
+            }),
+            _ => {
+                // The first event after a dump marker timestamps it.
+                if let Some(d) = dumps.last_mut() {
+                    if d.first_event_t.is_none() {
+                        d.first_event_t = v.get("t").and_then(Json::as_f64);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = String::from("# Run report\n");
+
+    // Section overview from the invariant audit.
+    out.push_str("\n## Sections\n\n");
+    out.push_str("| section | events | spans | traces | audit | mean deferral | mean ttfs |\n");
+    out.push_str("|---|---:|---:|---:|---|---:|---:|\n");
+    for s in &analysis.sections {
+        let verdict = if !s.audited {
+            "schema only".to_owned()
+        } else if s.violations.is_empty() {
+            "OK".to_owned()
+        } else {
+            format!("{} violation(s)", s.violations.len())
+        };
+        let mean = |xs: Vec<f64>| {
+            if xs.is_empty() {
+                "n/a".to_owned()
+            } else {
+                format!("{:.3}s", xs.iter().sum::<f64>() / xs.len() as f64)
+            }
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            s.name,
+            s.events,
+            s.spans,
+            s.traces,
+            verdict,
+            mean(
+                s.breakdowns
+                    .iter()
+                    .filter_map(|b| b.deferral_wait_s)
+                    .collect()
+            ),
+            mean(
+                s.breakdowns
+                    .iter()
+                    .filter_map(|b| b.time_to_first_service_s)
+                    .collect()
+            ),
+        ));
+    }
+    for s in &analysis.sections {
+        for viol in &s.violations {
+            out.push_str(&format!("\n- **violation** ({}): {viol}\n", s.name));
+        }
+    }
+
+    // Time-series timelines, grouped section → scope.
+    out.push_str("\n## Time series\n");
+    if series.is_empty() {
+        out.push_str("\n_No series lines in this trace (run with series recording on)._\n");
+    }
+    let mut last_group = String::new();
+    for (sec, s) in &series {
+        let group = format!("{sec} — scope `{}`", s.scope);
+        if group != last_group {
+            out.push_str(&format!("\n### {group}\n\n"));
+            out.push_str("| series | n | stride | min | mean | max | last | timeline |\n");
+            out.push_str("|---|---:|---:|---:|---:|---:|---:|---|\n");
+            last_group = group;
+        }
+        let values: Vec<f64> = s.points.iter().map(|p| p.2).collect();
+        let (min, max, mean, last) = if values.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (
+                values.iter().copied().fold(f64::INFINITY, f64::min),
+                values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                values.iter().sum::<f64>() / values.len() as f64,
+                *values.last().expect("non-empty"),
+            )
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            s.name,
+            s.count,
+            s.stride,
+            num(min),
+            num(mean),
+            num(max),
+            num(last),
+            sparkline(&values),
+        ));
+    }
+
+    // Estimator audits.
+    if !audits.is_empty() {
+        out.push_str("\n## Estimator audits\n\n");
+        out.push_str("| section | scope | windows | violations | success |\n");
+        out.push_str("|---|---|---:|---:|---:|\n");
+        for (sec, a) in &audits {
+            let success = if a.samples == 0 {
+                "n/a".to_owned()
+            } else {
+                format!(
+                    "{:.1}%",
+                    100.0 * (a.samples - a.violations) as f64 / a.samples as f64
+                )
+            };
+            out.push_str(&format!(
+                "| {sec} | {} | {} | {} | {success} |\n",
+                a.scope, a.samples, a.violations
+            ));
+        }
+    }
+
+    // Flight-recorder dumps, cross-referenced to the cycle index: the
+    // engine samples every series once per cycle, so the last sample at
+    // or before the dump's first event time names the cycle in which
+    // the anomaly fired.
+    if !dumps.is_empty() {
+        out.push_str("\n## Flight-recorder dumps\n\n");
+        for d in &dumps {
+            let at = match d.first_event_t {
+                Some(t) => {
+                    let cycle = series
+                        .iter()
+                        .flat_map(|(_, s)| s.points.iter())
+                        .filter(|p| p.1 <= t)
+                        .map(|p| p.0)
+                        .max();
+                    match cycle {
+                        Some(c) => format!("t={t:.3}s, around cycle index {c}"),
+                        None => format!("t={t:.3}s (before the first series sample)"),
+                    }
+                }
+                None => "no events captured".to_owned(),
+            };
+            out.push_str(&format!(
+                "- dump #{} (`{}`): {at}{}\n",
+                d.seq,
+                d.reason,
+                if d.dropped > 0 {
+                    format!(", ring dropped {} earlier events", d.dropped)
+                } else {
+                    String::new()
+                }
+            ));
+        }
+    }
+
+    // Slowest traces, verbatim from the analyzer.
+    let trees: Vec<&String> = analysis
+        .sections
+        .iter()
+        .flat_map(|s| s.slowest.iter())
+        .collect();
+    if !trees.is_empty() {
+        out.push_str("\n## Slowest traces\n\n```text\n");
+        for tree in trees {
+            out.push_str(tree);
+        }
+        out.push_str("```\n");
+    }
+
+    Ok(out)
+}
+
+/// Re-renders every `{"kind":"series",..}` line of a trace as the flat
+/// CSV exchange format (`scope,name,index,t,value` — the same shape
+/// [`vod_obs::timeseries::SeriesRecorder::export_csv`] writes), in file
+/// order.
+#[must_use]
+pub fn series_csv(src: &str) -> String {
+    let mut out = String::from(vod_obs::timeseries::SERIES_CSV_HEADER);
+    for line in src.lines() {
+        let Ok(v) = parse(line) else { continue };
+        if v.get("kind").and_then(Json::as_str) != Some("series") {
+            continue;
+        }
+        let Some(s) = parse_series(&v) else { continue };
+        for (index, t, value) in &s.points {
+            out.push_str(&format!(
+                "{},{},{index},{},{}\n",
+                s.scope,
+                s.name,
+                vod_obs::json::number(*t),
+                vod_obs::json::number(*value),
+            ));
+        }
+    }
+    out
+}
+
+/// Returns how many distinct series names appear per scope — used by
+/// tests and the CLI to sanity-check coverage.
+#[must_use]
+pub fn series_inventory(src: &str) -> BTreeMap<String, Vec<String>> {
+    let mut inv: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for line in src.lines() {
+        let Ok(v) = parse(line) else { continue };
+        if v.get("kind").and_then(Json::as_str) != Some("series") {
+            continue;
+        }
+        if let Some(s) = parse_series(&v) {
+            let names = inv.entry(s.scope).or_default();
+            if !names.contains(&s.name) {
+                names.push(s.name);
+            }
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_range_to_glyphs() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        // Constant series renders mid-glyphs, not a divide-by-zero.
+        assert!(sparkline(&[5.0; 10]).chars().all(|c| c == SPARKS[4]));
+        // Long series resample to the fixed width.
+        let long: Vec<f64> = (0..1000).map(f64::from).collect();
+        assert_eq!(sparkline(&long).chars().count(), SPARK_WIDTH);
+    }
+
+    #[test]
+    fn report_renders_series_audits_and_dump_cross_reference() {
+        let src = concat!(
+            "{\"kind\":\"cluster_cell\",\"nodes\":1,\"placement\":\"rr\",\"dispatch\":\"ll\"}\n",
+            "{\"kind\":\"cluster_summary\",\"redirected\":0,\"per_node\":[]}\n",
+            "{\"kind\":\"series\",\"scope\":\"node0\",\"name\":\"active_streams\",",
+            "\"stride\":1,\"count\":3,\"points\":[[0,0.5,1.0],[1,1.5,2.0],[2,2.5,3.0]]}\n",
+            "{\"kind\":\"audit\",\"scope\":\"node0\",\"samples\":4,\"violations\":1}\n",
+            "{\"kind\":\"flight_dump\",\"reason\":\"underflow\",\"seq\":1,\"events\":1,\"dropped\":0}\n",
+            "{\"kind\":\"underflow\",\"t\":1.75,\"id\":3,\"stream\":7}\n",
+        );
+        let md = render_run_report(src).expect("report renders");
+        assert!(md.contains("# Run report"));
+        assert!(md.contains("active_streams"));
+        assert!(md.contains('▁'), "sparkline glyphs expected:\n{md}");
+        assert!(md.contains("75.0%"), "audit success rate:\n{md}");
+        // The dump at t=1.75 lands after sample index 1 (t=1.5) and
+        // before index 2 (t=2.5).
+        assert!(md.contains("around cycle index 1"), "{md}");
+
+        let csv = series_csv(src);
+        assert!(csv.starts_with("scope,name,index,t,value\n"));
+        assert!(csv.contains("node0,active_streams,1,1.5,2.0\n"), "{csv}");
+    }
+
+    #[test]
+    fn inventory_counts_distinct_names_per_scope() {
+        let src = concat!(
+            "{\"kind\":\"series\",\"scope\":\"a\",\"name\":\"x\",\"stride\":1,\"count\":0,\"points\":[]}\n",
+            "{\"kind\":\"series\",\"scope\":\"a\",\"name\":\"y\",\"stride\":1,\"count\":0,\"points\":[]}\n",
+            "{\"kind\":\"series\",\"scope\":\"a\",\"name\":\"x\",\"stride\":1,\"count\":0,\"points\":[]}\n",
+        );
+        let inv = series_inventory(src);
+        assert_eq!(inv["a"], vec!["x".to_owned(), "y".to_owned()]);
+    }
+
+    #[test]
+    fn empty_trace_still_renders() {
+        let md = render_run_report("").expect("empty ok");
+        assert!(md.contains("No series lines"));
+    }
+}

@@ -112,11 +112,13 @@ impl TraceReport {
     }
 }
 
-const MARKER_KINDS: [&str; 4] = [
+const MARKER_KINDS: [&str; 6] = [
     "experiment",
     "cluster_cell",
     "cluster_summary",
     "flight_dump",
+    "series",
+    "audit",
 ];
 
 fn is_span_kind(kind: &str) -> bool {
@@ -305,6 +307,10 @@ pub fn analyze(src: &str, top_k: usize) -> Result<TraceReport, String> {
                     state.expect = Some(parse_expect(&v));
                 }
             }
+            // Time-series and audit marker lines ride inside a section
+            // (appended after its summary) but are `repro report`'s
+            // input, not span events — the audit ignores them.
+            "series" | "audit" => {}
             "flight_dump" => {
                 flush(current.take(), &mut sections);
                 let reason = v

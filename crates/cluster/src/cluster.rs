@@ -19,20 +19,21 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vod_obs::metrics::{
-    per_node, CTR_CLUSTER_DISPATCHED, CTR_CLUSTER_QUEUED, CTR_CLUSTER_REDIRECTED,
-    GAUGE_CLUSTER_IMBALANCE, GAUGE_CLUSTER_MEM_PEAK, GAUGE_CLUSTER_NODES,
+    per_node, CTR_AUDIT_VIOLATIONS, CTR_CLUSTER_DISPATCHED, CTR_CLUSTER_QUEUED,
+    CTR_CLUSTER_REDIRECTED, GAUGE_CLUSTER_IMBALANCE, GAUGE_CLUSTER_MEM_PEAK, GAUGE_CLUSTER_NODES,
 };
 use vod_obs::span::{
     mix64, AnnoValue, SpanId, SpanKind, SpanStatus, TraceId, SEQ_DISPATCH, SEQ_HOP_DISPATCH,
     SEQ_HOP_RETRY, SEQ_RETRY,
 };
+use vod_obs::timeseries::{cluster_series, Series, SeriesRecorder};
 use vod_obs::Obs;
-use vod_sim::{DiskEngine, EngineConfig};
+use vod_sim::{evaluate_audits, DiskEngine, EngineConfig};
 use vod_types::{ConfigError, Instant};
 use vod_workload::{Arrival, Zipf};
 
@@ -67,6 +68,19 @@ struct Node {
     dispatched: u64,
     redirected_in: u64,
     redirected_out: u64,
+    /// Arrival instants offered to this node (push order; sorted at
+    /// finish time — retries land out of order). Fuels per-node audit
+    /// scoring: the node's estimator only ever saw these arrivals.
+    offered_times: Vec<Instant>,
+    /// Front-end series handles (load, redirections), when attached.
+    series: Option<NodeFrontSeries>,
+}
+
+/// Per-node front-end time-series handles (the node engine's own cycle
+/// series attach separately via [`DiskEngine::set_series_recorder`]).
+struct NodeFrontSeries {
+    load: Arc<Series>,
+    redirections: Arc<Series>,
 }
 
 /// An arrival that overflowed every replica, parked cluster-wide.
@@ -94,6 +108,8 @@ pub struct Cluster {
     dispatched: u64,
     redirected: u64,
     overflow_queued: u64,
+    /// Cluster-scope imbalance-ratio series, when attached.
+    imbalance_series: Option<Arc<Series>>,
 }
 
 impl Cluster {
@@ -132,6 +148,8 @@ impl Cluster {
                 dispatched: 0,
                 redirected_in: 0,
                 redirected_out: 0,
+                offered_times: Vec::new(),
+                series: None,
             });
         }
         let rng = SmallRng::seed_from_u64(cfg.seed);
@@ -145,6 +163,7 @@ impl Cluster {
             dispatched: 0,
             redirected: 0,
             overflow_queued: 0,
+            imbalance_series: None,
         })
     }
 
@@ -157,6 +176,69 @@ impl Cluster {
         for node in &mut self.nodes {
             node.engine.set_per_cycle_tracing(on);
         }
+    }
+
+    /// Attaches time-series recorders: `cluster` receives the
+    /// cluster-scope imbalance-ratio series (one sample per dispatched
+    /// arrival) and `nodes[i]` receives node `i`'s front-end series
+    /// (offered load and cumulative redirections, one sample per offer)
+    /// *plus* the node engine's five cycle-boundary series
+    /// ([`vod_sim::DiskEngine::set_series_recorder`]). Observation-only,
+    /// like every other recorder: results are bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one recorder per node is supplied.
+    pub fn set_series_recorders(
+        &mut self,
+        cluster: &SeriesRecorder,
+        nodes: &[Arc<SeriesRecorder>],
+    ) {
+        assert_eq!(
+            nodes.len(),
+            self.nodes.len(),
+            "one series recorder per node"
+        );
+        self.imbalance_series = Some(cluster.series(cluster_series::IMBALANCE_RATIO));
+        for (node, rec) in self.nodes.iter_mut().zip(nodes) {
+            node.engine.set_series_recorder(rec);
+            node.series = Some(NodeFrontSeries {
+                load: rec.series(cluster_series::NODE_LOAD),
+                redirections: rec.series(cluster_series::NODE_REDIRECTIONS),
+            });
+        }
+    }
+
+    /// Books one offer to node `ni`: front-end accounting, the engine
+    /// hand-off, and (when attached) the node's front-end series sample.
+    fn offer_to(&mut self, ni: usize, a: &Arrival, trace: TraceId) {
+        let node = &mut self.nodes[ni];
+        node.dispatched += 1;
+        node.offered_times.push(a.at);
+        node.engine.offer_traced(a, trace);
+        if let Some(s) = &node.series {
+            let t = a.at.as_secs_f64();
+            s.load.push(t, node.engine.offered() as f64);
+            s.redirections
+                .push(t, (node.redirected_in + node.redirected_out) as f64);
+        }
+    }
+
+    /// Samples the cluster-scope imbalance series (busiest node's
+    /// dispatched count over the mean), if attached. One sample per
+    /// front-end dispatch, indexed by dispatch count.
+    fn sample_imbalance(&self, at: Instant) {
+        let Some(series) = &self.imbalance_series else {
+            return;
+        };
+        let total: u64 = self.nodes.iter().map(|n| n.dispatched).sum();
+        let value = if total == 0 {
+            1.0
+        } else {
+            let max = self.nodes.iter().map(|n| n.dispatched).max().unwrap_or(0);
+            max as f64 / (total as f64 / self.nodes.len() as f64)
+        };
+        series.push(at.as_secs_f64(), value);
     }
 
     /// Runs the cluster over a time-sorted trace, draining nodes
@@ -192,6 +274,7 @@ impl Cluster {
             }
             self.retry_overflow_queue(a.at);
             self.dispatch(a);
+            self.sample_imbalance(a.at);
         }
         // End of trace: park nothing forever — hand stragglers to their
         // least-loaded candidate and let that node's own admission queue
@@ -221,8 +304,7 @@ impl Cluster {
         if replicas.len() == 1 {
             let ni = replicas[0];
             self.trace_dispatch(a.at, trace, ni);
-            self.nodes[ni].dispatched += 1;
-            self.nodes[ni].engine.offer_traced(a, trace);
+            self.offer_to(ni, a, trace);
             return;
         }
         let order = self.preference_order(&replicas, a.at);
@@ -236,8 +318,7 @@ impl Cluster {
                     self.nodes[ni].redirected_in += 1;
                     self.trace_hop(a.at, trace, SEQ_HOP_DISPATCH, SEQ_DISPATCH, primary, ni);
                 }
-                self.nodes[ni].dispatched += 1;
-                self.nodes[ni].engine.offer_traced(a, trace);
+                self.offer_to(ni, a, trace);
                 return;
             }
         }
@@ -370,10 +451,7 @@ impl Cluster {
                     target,
                 );
             }
-            self.nodes[target].dispatched += 1;
-            self.nodes[target]
-                .engine
-                .offer_traced(&head.arrival, head.trace);
+            self.offer_to(target, &head.arrival, head.trace);
         }
     }
 
@@ -401,10 +479,7 @@ impl Cluster {
                     .span_annotate(at, parked.trace, sp, "flush", AnnoValue::U64(1));
                 self.obs.span_end(at, parked.trace, sp, SpanStatus::Ok);
             }
-            self.nodes[target].dispatched += 1;
-            self.nodes[target]
-                .engine
-                .offer_traced(&parked.arrival, parked.trace);
+            self.offer_to(target, &parked.arrival, parked.trace);
         }
     }
 
@@ -421,22 +496,35 @@ impl Cluster {
             ..
         } = self;
 
-        let accounted: Vec<(u64, u64, u64)> = nodes
-            .iter()
-            .map(|n| (n.dispatched, n.redirected_in, n.redirected_out))
-            .collect();
-        let engines: Vec<DiskEngine> = nodes.into_iter().map(|n| n.engine).collect();
+        let mut accounted = Vec::with_capacity(nodes.len());
+        let mut engines = Vec::with_capacity(nodes.len());
+        for n in nodes {
+            let mut times = n.offered_times;
+            // Overflow retries offer old arrivals at later instants, so
+            // push order is not time order; audit scoring needs sorted.
+            times.sort_unstable();
+            accounted.push((n.dispatched, n.redirected_in, n.redirected_out, times));
+            engines.push(n.engine);
+        }
         let stats = drain_engines(engines, jobs);
 
         let node_reports: Vec<NodeReport> = stats
             .into_iter()
+            .zip(&accounted)
             .enumerate()
-            .map(|(i, stats)| NodeReport {
-                node: i,
-                dispatched: accounted[i].0,
-                redirected_in: accounted[i].1,
-                redirected_out: accounted[i].2,
-                stats,
+            .map(|(i, (stats, (dispatched, rin, rout, times)))| {
+                // Score each node's estimator against the arrivals *it*
+                // saw — redirection means the cluster trace is not any
+                // single node's arrival stream.
+                let audit = evaluate_audits(&stats.audits, times);
+                NodeReport {
+                    node: i,
+                    dispatched: *dispatched,
+                    redirected_in: *rin,
+                    redirected_out: *rout,
+                    audit,
+                    stats,
+                }
             })
             .collect();
         let report = ClusterReport {
@@ -471,6 +559,8 @@ impl Cluster {
             m.gauge(&per_node(n.node, "mem_peak_bits"))
                 .set(n.stats.peak_memory.as_f64());
         }
+        m.counter(CTR_AUDIT_VIOLATIONS)
+            .add(report.audit_violations());
         report
     }
 }

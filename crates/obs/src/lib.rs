@@ -68,6 +68,7 @@ pub mod prom;
 pub mod recorder;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 
 pub use event::{Event, EventKind, RejectReason};
 pub use flight::FlightRecorder;
@@ -82,3 +83,4 @@ pub use recorder::{
 };
 pub use sink::{EventMask, NullSink, Obs, Sink, StderrSink, TeeSink};
 pub use span::{AnnoValue, Span, SpanId, SpanKind, SpanStatus, TraceId};
+pub use timeseries::{Point, Series, SeriesRecorder, TimeSeries};

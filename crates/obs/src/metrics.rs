@@ -62,6 +62,9 @@ pub const CTR_POOL_FILLS: &str = "vod_pool_fills_total";
 pub const CTR_EVENTS_DROPPED: &str = "vod_events_dropped_total";
 /// Counter: span records dropped by a bounded recorder.
 pub const CTR_SPANS_DROPPED: &str = "vod_spans_dropped_total";
+/// Counter: Assumption-1 audit windows whose estimated service count
+/// fell short of the actual count (see `vod-sim`'s `audit` module).
+pub const CTR_AUDIT_VIOLATIONS: &str = "vod_audit_violations_total";
 
 /// Gauge: current buffer-pool occupancy in bits.
 pub const GAUGE_POOL_USED: &str = "vod_pool_used_bits";

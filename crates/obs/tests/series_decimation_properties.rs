@@ -1,0 +1,87 @@
+//! Property tests for the time-series decimation scheme: the retained
+//! sample set must be a pure function of `(push sequence, capacity)`,
+//! and capacities must nest — a small ring is always the large ring
+//! filtered to the small ring's stride. These are the structural facts
+//! behind the determinism argument in `timeseries.rs`: if filtering
+//! commutes with capacity, any two runs that push the same sequence
+//! agree on every retained point regardless of ring size.
+
+use proptest::prelude::*;
+use vod_obs::TimeSeries;
+
+/// Replays `values` (t = index as f64) into a fresh series.
+fn replay(values: &[f64], capacity: usize) -> TimeSeries {
+    let mut s = TimeSeries::new("x", capacity);
+    for (i, &v) in values.iter().enumerate() {
+        s.push(i as f64, v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Retained indices are exactly the multiples of the final stride
+    /// below the push count, so decimation keeps full-run coverage: the
+    /// gap after the last retained sample is smaller than one stride.
+    #[test]
+    fn retained_points_are_exactly_the_stride_multiples(
+        values in prop::collection::vec(-1e6f64..1e6, 0..3000),
+        capacity in 2usize..128,
+    ) {
+        let s = replay(&values, capacity);
+        let stride = s.stride();
+        prop_assert!(stride.is_power_of_two());
+        let expected: Vec<u64> =
+            (0..values.len() as u64).step_by(stride as usize).collect();
+        let got: Vec<u64> = s.points().iter().map(|p| p.index).collect();
+        prop_assert_eq!(got, expected);
+        for p in s.points() {
+            // Values are never resampled or averaged — each retained
+            // point is the original observation at its index.
+            prop_assert_eq!(p.value.to_bits(), values[p.index as usize].to_bits());
+            prop_assert_eq!(p.t.to_bits(), (p.index as f64).to_bits());
+        }
+    }
+
+    /// Capacity invariance modulo stride: a small ring equals the large
+    /// ring filtered to the small ring's stride, byte for byte. Ring
+    /// size changes resolution, never which values an index maps to.
+    #[test]
+    fn small_capacity_is_the_large_capacity_filtered(
+        values in prop::collection::vec(-1e6f64..1e6, 0..3000),
+        small in 2usize..32,
+        extra in 0usize..96,
+    ) {
+        let large = small + extra;
+        let coarse = replay(&values, small);
+        let fine = replay(&values, large);
+        let stride = coarse.stride();
+        prop_assert_eq!(stride % fine.stride(), 0, "strides must nest");
+        let filtered: Vec<(u64, u64, u64)> = fine
+            .points()
+            .iter()
+            .filter(|p| p.index % stride == 0)
+            .map(|p| (p.index, p.t.to_bits(), p.value.to_bits()))
+            .collect();
+        let got: Vec<(u64, u64, u64)> = coarse
+            .points()
+            .iter()
+            .map(|p| (p.index, p.t.to_bits(), p.value.to_bits()))
+            .collect();
+        prop_assert_eq!(got, filtered);
+    }
+
+    /// Replaying the same sequence twice gives byte-identical JSON —
+    /// the exported artifact is deterministic, not just the in-memory
+    /// points.
+    #[test]
+    fn replays_export_identical_json(
+        values in prop::collection::vec(-1e3f64..1e3, 0..500),
+        capacity in 2usize..64,
+    ) {
+        let a = replay(&values, capacity).to_json("scope");
+        let b = replay(&values, capacity).to_json("scope");
+        prop_assert_eq!(a, b);
+    }
+}

@@ -23,6 +23,10 @@ pub struct AuditOutcome {
     /// Fraction of allocations with `k_estimated ≥ actual` — Fig. 7b /
     /// 8b's y-axis.
     pub success_probability: f64,
+    /// Allocations whose estimate fell short (`samples` minus the
+    /// successes) — the absolute count behind `1 - success_probability`,
+    /// surfaced as the `vod_audit_violations_total` counter.
+    pub violations: usize,
 }
 
 /// Scores audit records against the complete arrival-time list (which
@@ -54,6 +58,7 @@ pub fn evaluate_audits(audits: &[AuditRecord], arrival_times: &[Instant]) -> Aud
         mean_estimated: est_sum / n,
         mean_actual: act_sum / n,
         success_probability: successes as f64 / n,
+        violations: audits.len() - successes,
     }
 }
 
@@ -97,6 +102,7 @@ mod tests {
         assert_eq!(out.success_probability, 0.0);
         assert!((out.mean_estimated - 2.0).abs() < 1e-12);
         assert!((out.mean_actual - 3.0).abs() < 1e-12);
+        assert_eq!(out.violations, 1);
     }
 
     #[test]
@@ -110,6 +116,7 @@ mod tests {
         assert!((out.success_probability - 0.5).abs() < 1e-12);
         assert!((out.mean_estimated - 1.0).abs() < 1e-12);
         assert!((out.mean_actual - 1.5).abs() < 1e-12);
+        assert_eq!(out.violations, 1);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use vod_obs::metrics::{
     PHASE_ADMISSION, PHASE_CYCLE_PLAN, PHASE_SERVICE,
 };
 use vod_obs::span::{self, AnnoValue, SpanId, SpanKind, SpanStatus, TraceId};
+use vod_obs::timeseries::{engine_series, Series, SeriesRecorder};
 use vod_obs::{Counter, Event, EventKind, Histo, Obs, RejectReason};
 use vod_sched::{AdmissionTiming, SchedulingMethod};
 use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VideoId};
@@ -199,6 +200,32 @@ impl EngineMetrics {
     }
 }
 
+/// Time-series handles resolved once when a [`SeriesRecorder`] is
+/// attached (see [`DiskEngine::set_series_recorder`]). Sampling is
+/// emission-gated exactly like spans: with no recorder attached the
+/// cycle boundary skips the sampling block entirely, and the sampled
+/// values are ones the engine already maintains — an attached recorder
+/// never perturbs the run (pinned by the non-perturbation tests).
+struct EngineSeries {
+    pool_used: std::sync::Arc<Series>,
+    active_streams: std::sync::Arc<Series>,
+    admission_headroom: std::sync::Arc<Series>,
+    deferral_queue: std::sync::Arc<Series>,
+    cycle_service: std::sync::Arc<Series>,
+}
+
+impl EngineSeries {
+    fn resolve(rec: &SeriesRecorder) -> Self {
+        EngineSeries {
+            pool_used: rec.series(engine_series::POOL_USED_BITS),
+            active_streams: rec.series(engine_series::ACTIVE_STREAMS),
+            admission_headroom: rec.series(engine_series::ADMISSION_HEADROOM),
+            deferral_queue: rec.series(engine_series::DEFERRAL_QUEUE_DEPTH),
+            cycle_service: rec.series(engine_series::CYCLE_SERVICE_S),
+        }
+    }
+}
+
 /// The single-disk server engine.
 pub struct DiskEngine {
     cfg: EngineConfig,
@@ -262,6 +289,9 @@ pub struct DiskEngine {
     /// lifecycle audit. Emission-only; span sequence numbers advance
     /// regardless.
     trace_per_cycle: bool,
+    /// Cycle-boundary time-series handles; `None` (the default) skips
+    /// sampling entirely.
+    series: Option<EngineSeries>,
 }
 
 /// Scope salt separating the engine's cycle-span trace from request
@@ -353,6 +383,7 @@ impl DiskEngine {
             cycle_span: None,
             cycle_seq: 0,
             trace_per_cycle: true,
+            series: None,
         }
         .with_default_trace_scope())
     }
@@ -378,6 +409,42 @@ impl DiskEngine {
     /// sequencing and every scheduling decision are identical either way.
     pub fn set_per_cycle_tracing(&mut self, on: bool) {
         self.trace_per_cycle = on;
+    }
+
+    /// Attaches a [`SeriesRecorder`]: at every completed service cycle
+    /// the engine samples pool occupancy, active streams, Assumption-1
+    /// admission headroom, deferral-queue depth, and the cycle's service
+    /// time into the recorder's series (see
+    /// [`vod_obs::timeseries::engine_series`]). Observation-only — the
+    /// sampled values are state the engine already maintains, so runs
+    /// with and without a recorder are bit-identical.
+    pub fn set_series_recorder(&mut self, rec: &SeriesRecorder) {
+        self.series = Some(EngineSeries::resolve(rec));
+    }
+
+    /// Samples the cycle-boundary series, if a recorder is attached.
+    /// `admission_headroom` takes `&mut self` (it advances the
+    /// controller's min-aggregate cursor, a semantics-preserving lazy
+    /// evaluation), so values are computed before the handles borrow.
+    fn sample_series(&mut self) {
+        if self.series.is_none() {
+            return;
+        }
+        let t = self.t;
+        let pool_used = self.mem.used_at(t, self.cfg.params.cr().as_f64());
+        let active = self.streams.len() as f64;
+        let headroom = self.admission_headroom() as f64;
+        let queue = self.pending.len() as f64;
+        let period = self.last_period.map(Seconds::as_secs_f64);
+        let series = self.series.as_ref().expect("checked above");
+        let ts = t.as_secs_f64();
+        series.pool_used.push(ts, pool_used);
+        series.active_streams.push(ts, active);
+        series.admission_headroom.push(ts, headroom);
+        series.deferral_queue.push(ts, queue);
+        if let Some(p) = period {
+            series.cycle_service.push(ts, p);
+        }
     }
 
     /// The engine-scoped trace carrying cycle spans.
@@ -453,6 +520,7 @@ impl DiskEngine {
                     if let Some((tr, sp)) = self.cycle_span.take() {
                         self.obs.span_end(self.t, tr, sp, SpanStatus::Ok);
                     }
+                    self.sample_series();
                 }
                 self.order.clear();
                 self.process_due_departures();

@@ -155,6 +155,9 @@ pub fn run_latency_experiment_observed(
                     let workload =
                         generate(&wl_cfg, seed).expect("workload config validated above");
                     gen_timer.stop();
+                    let audit_counter = obs
+                        .metrics()
+                        .counter(vod_obs::metrics::CTR_AUDIT_VIOLATIONS);
                     let trace_scope = engine_cfg.latency_seed ^ vod_obs::span::mix64(seed);
                     let mut engine = DiskEngine::with_observer(engine_cfg, obs)
                         .expect("engine config validated above");
@@ -164,6 +167,7 @@ pub fn run_latency_experiment_observed(
                     let stats = engine.run(&workload.arrivals);
                     let times: Vec<Instant> = workload.arrivals.iter().map(|a| a.at).collect();
                     let audit = evaluate_audits(&stats.audits, &times);
+                    audit_counter.add(audit.violations as u64);
                     let report =
                         RunReport::from_stats(seed, started.elapsed().as_secs_f64(), &stats);
                     (stats, audit, report)
@@ -183,12 +187,14 @@ pub fn run_latency_experiment_observed(
     let mut act = 0.0;
     let mut succ = 0.0;
     let mut samples = 0usize;
+    let mut violations = 0usize;
     for (stats, audit, report) in results {
         // Weight per-seed audit means by their sample counts.
         est += audit.mean_estimated * audit.samples as f64;
         act += audit.mean_actual * audit.samples as f64;
         succ += audit.success_probability * audit.samples as f64;
         samples += audit.samples;
+        violations += audit.violations;
         reports.push(report);
         merged.absorb(stats);
     }
@@ -200,6 +206,7 @@ pub fn run_latency_experiment_observed(
             mean_estimated: est / samples as f64,
             mean_actual: act / samples as f64,
             success_probability: succ / samples as f64,
+            violations,
         }
     };
     Ok(ObservedLatencyResult {

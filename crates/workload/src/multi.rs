@@ -183,13 +183,12 @@ mod tests {
             assert_eq!(x.viewing, y.viewing);
         }
         let c = multi_movie(&cfg(), 43).expect("valid multi-movie config");
-        assert_ne!(
-            a.arrivals.len() == c.arrivals.len()
+        assert!(
+            !(a.arrivals.len() == c.arrivals.len()
                 && a.arrivals
                     .iter()
                     .zip(&c.arrivals)
-                    .all(|(x, y)| x.at == y.at),
-            true,
+                    .all(|(x, y)| x.at == y.at)),
             "different seeds should differ"
         );
     }
