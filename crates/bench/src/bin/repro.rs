@@ -5,8 +5,8 @@
 //!       [--summary-json <file>] [--metrics <file.prom>]
 //!       [--metrics-addr <host:port>] <experiment>...
 //! repro [--quick] all
-//! repro bench [--smoke] [--out <file>]
-//! repro cluster [--smoke] [--trace <file.jsonl>] [--out <file>]
+//! repro bench [--smoke] [--no-fast-forward] [--out <file>]
+//! repro cluster [--smoke] [--no-fast-forward] [--trace <file.jsonl>] [--out <file>]
 //! repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]
 //! repro report <trace.jsonl> [--out <file.md>] [--series-csv <file.csv>]
 //! repro compare <old.json> <new.json> [--tolerance <x>]
@@ -45,7 +45,11 @@
 //! `repro bench` skips the tables entirely and runs the pinned
 //! performance matrix instead, writing `BENCH_perf.json` (see
 //! `EXPERIMENTS.md`, “Benchmark methodology”). `--smoke` is the CI-sized
-//! subset; `--out` overrides the output path.
+//! subset; `--out` overrides the output path. `--no-fast-forward`
+//! (also accepted by `repro cluster`) is the escape hatch that makes
+//! every engine take the legacy hop-by-hop idle path instead of the
+//! event-driven jump (DESIGN §11) — deterministic counters are
+//! bit-identical either way, only throughput moves.
 //!
 //! `repro cluster --trace <file.jsonl>` runs the matrix sequentially with
 //! a per-cell span recorder and writes `{"kind":"cluster_cell"}` sections
@@ -64,9 +68,9 @@ use std::time::Instant;
 use vod_analysis::{write_csv, Table};
 use vod_bench::{
     check_against_baseline, check_cluster_against_baseline, compare, fig10, fig11, fig12, fig13,
-    fig14, fig6, fig7, fig8, fig9, gss_g, merge_cluster_into_baseline, report, run_bench,
-    run_cluster_bench, run_cluster_bench_traced, tab3, tab4, tab5, traceview, vcr, BenchMode,
-    ClusterBenchMode, Scale,
+    fig14, fig6, fig7, fig8, fig9, gss_g, merge_cluster_into_baseline, report,
+    run_bench_configured, run_cluster_bench_configured, run_cluster_bench_traced, tab3, tab4, tab5,
+    traceview, vcr, BenchMode, ClusterBenchMode, Scale,
 };
 use vod_obs::metrics::{CTR_EVENTS_DROPPED, CTR_SPANS_DROPPED};
 use vod_obs::{
@@ -128,13 +132,13 @@ fn print_usage() {
          <experiment>... | all | --list"
     );
     eprintln!(
-        "       repro bench [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>] \
-         [--flight <file.jsonl>]"
+        "       repro bench [--smoke] [--jobs <n>] [--no-fast-forward] [--out <file>] \
+         [--check <baseline>] [--flight <file.jsonl>]"
     );
     eprintln!(
-        "       repro cluster [--smoke] [--jobs <n>] [--out <file>] [--check <baseline>] \
-         [--merge-baseline <file>] [--metrics <file.prom>] [--trace <file.jsonl>] \
-         [--flight <file.jsonl>]"
+        "       repro cluster [--smoke] [--jobs <n>] [--no-fast-forward] [--out <file>] \
+         [--check <baseline>] [--merge-baseline <file>] [--metrics <file.prom>] \
+         [--trace <file.jsonl>] [--flight <file.jsonl>]"
     );
     eprintln!("       repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]");
     eprintln!("       repro report <trace.jsonl> [--out <file.md>] [--series-csv <file.csv>]");
@@ -413,11 +417,13 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut out = PathBuf::from("BENCH_perf.json");
     let mut check: Option<PathBuf> = None;
     let mut flight_path: Option<PathBuf> = None;
+    let mut fast_forward = true;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--smoke" => mode = BenchMode::Smoke,
+            "--no-fast-forward" => fast_forward = false,
             "--out" => {
                 let Some(p) = iter.next() else {
                     eprintln!("--out requires a file argument");
@@ -458,7 +464,10 @@ fn bench_main(args: &[String]) -> ExitCode {
     // bare hot loop), so the flight ring stays empty here; the recorder
     // still documents a failed baseline gate with a dump marker.
     let flight = flight_path.as_deref().map(arm_flight);
-    let report = run_bench(mode, jobs, &|line| eprintln!("{line}"));
+    if !fast_forward {
+        eprintln!("bench: fast-forward disabled; engines take the legacy hop-by-hop idle path");
+    }
+    let report = run_bench_configured(mode, jobs, fast_forward, &|line| eprintln!("{line}"));
     for c in &report.cells {
         println!(
             "{:<14} {:<12} θ={:<4} {:>9} cycles  {:>10.0} cycles/s  {:>8.2} MiB peak  {:.2}s",
@@ -544,11 +553,13 @@ fn cluster_main(args: &[String]) -> ExitCode {
     let mut metrics_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut flight_path: Option<PathBuf> = None;
+    let mut fast_forward = true;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--smoke" => mode = ClusterBenchMode::Smoke,
+            "--no-fast-forward" => fast_forward = false,
             "--trace" => {
                 let Some(p) = iter.next() else {
                     eprintln!("--trace requires a file argument");
@@ -614,9 +625,17 @@ fn cluster_main(args: &[String]) -> ExitCode {
         None => Obs::null(),
     }
     .with_metrics(Metrics::new(Arc::clone(&registry)));
+    if !fast_forward {
+        eprintln!(
+            "cluster: fast-forward disabled; node engines take the legacy hop-by-hop idle path"
+        );
+    }
     let report = if let Some(trace_file) = &trace_path {
         if jobs > 1 {
             eprintln!("note: --trace runs the matrix sequentially; --jobs ignored");
+        }
+        if !fast_forward {
+            eprintln!("note: --trace always runs fast-forwarded; --no-fast-forward ignored");
         }
         let mut trace_out = String::new();
         let report =
@@ -628,7 +647,7 @@ fn cluster_main(args: &[String]) -> ExitCode {
         eprintln!("[cluster trace -> {}]", trace_file.display());
         report
     } else {
-        run_cluster_bench(mode, jobs, &obs, &|line| eprintln!("{line}"))
+        run_cluster_bench_configured(mode, jobs, fast_forward, &obs, &|line| eprintln!("{line}"))
     };
     for c in &report.cells {
         println!(

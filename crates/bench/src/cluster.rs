@@ -28,7 +28,7 @@ use vod_obs::Obs;
 use vod_sched::SchedulingMethod;
 use vod_sim::EngineConfig;
 use vod_types::Seconds;
-use vod_workload::{multi_movie, MultiMovieConfig};
+use vod_workload::{multi_movie, MultiMovieConfig, Workload};
 
 /// Node counts of the full scaling sweep.
 pub const FULL_NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -371,10 +371,12 @@ pub fn cluster_engine_config() -> EngineConfig {
     EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Dynamic)
 }
 
-fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec) -> ClusterConfig {
+fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec, fast_forward: bool) -> ClusterConfig {
+    let mut engine = cluster_engine_config();
+    engine.fast_forward = fast_forward;
     ClusterConfig {
         nodes: spec.nodes,
-        engine: cluster_engine_config(),
+        engine,
         movies: mode.movies(),
         movie_theta: 0.271,
         placement: spec.placement,
@@ -383,8 +385,63 @@ fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec) -> ClusterConfig {
     }
 }
 
-/// Runs one cell: generates the cell's trace (arrivals scale with the
-/// node count) and drives a fresh cluster over it.
+/// Generates the trace for a cell — a pure function of `(mode, nodes)`:
+/// total expected arrivals scale with the node count, everything else is
+/// pinned by the mode.
+fn cell_workload(mode: ClusterBenchMode, nodes: usize) -> Workload {
+    let mut wl_cfg = MultiMovieConfig::paper_cluster(
+        mode.movies(),
+        0.271,
+        mode.arrivals_per_node() * nodes as f64,
+    );
+    wl_cfg.duration = Seconds::from_hours(mode.horizon_hours());
+    wl_cfg.peak = Seconds::from_hours(mode.horizon_hours() / 2.0);
+    // A peaked (non-uniform) day: bursts at the peak are what push a
+    // node's Assumption-1 bound below its hard N cap, exercising
+    // deferral and overflow redirection rather than only rejection.
+    wl_cfg.profile_theta = 0.4;
+    multi_movie(&wl_cfg, mode.seed()).unwrap_or_else(|e| {
+        panic!(
+            "cluster bench workload ({} movies, {nodes} nodes) must validate: {e}",
+            mode.movies()
+        )
+    })
+}
+
+/// The matrix's seed-invariant build products, generated once per run
+/// instead of once per cell: the trace depends only on the node count
+/// (9 full-matrix cells share each one), and the `BS_k(n)` table behind
+/// every node's sizer is shared process-wide by the
+/// [`vod_core::SizeTable::shared`] memo anyway — this hoists the other
+/// per-cell rebuild, the multi-movie trace.
+struct SharedTraces {
+    by_nodes: Vec<(usize, Workload)>,
+}
+
+impl SharedTraces {
+    fn generate(mode: ClusterBenchMode, specs: &[ClusterCellSpec]) -> Self {
+        let mut node_counts: Vec<usize> = specs.iter().map(|s| s.nodes).collect();
+        node_counts.sort_unstable();
+        node_counts.dedup();
+        SharedTraces {
+            by_nodes: node_counts
+                .into_iter()
+                .map(|n| (n, cell_workload(mode, n)))
+                .collect(),
+        }
+    }
+
+    fn for_nodes(&self, nodes: usize) -> &Workload {
+        self.by_nodes
+            .iter()
+            .find(|(n, _)| *n == nodes)
+            .map(|(_, wl)| wl)
+            .expect("every cell's node count was generated up front")
+    }
+}
+
+/// Runs one cell: drives a fresh cluster over the hoisted trace `wl`
+/// (generated once per node count by [`SharedTraces`]).
 ///
 /// `lifecycle_trace_only` is the traced runner's knob: keep first-fill
 /// service spans but skip steady-state per-cycle ones (emission-only —
@@ -397,30 +454,13 @@ fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec) -> ClusterConfig {
 fn run_cluster_cell(
     mode: ClusterBenchMode,
     spec: ClusterCellSpec,
+    wl: &Workload,
+    fast_forward: bool,
     obs: &Obs,
     lifecycle_trace_only: bool,
     series: Option<&CellSeries>,
 ) -> ClusterCellResult {
-    let mut wl_cfg = MultiMovieConfig::paper_cluster(
-        mode.movies(),
-        0.271,
-        mode.arrivals_per_node() * spec.nodes as f64,
-    );
-    wl_cfg.duration = Seconds::from_hours(mode.horizon_hours());
-    wl_cfg.peak = Seconds::from_hours(mode.horizon_hours() / 2.0);
-    // A peaked (non-uniform) day: bursts at the peak are what push a
-    // node's Assumption-1 bound below its hard N cap, exercising
-    // deferral and overflow redirection rather than only rejection.
-    wl_cfg.profile_theta = 0.4;
-    let wl = multi_movie(&wl_cfg, mode.seed()).unwrap_or_else(|e| {
-        panic!(
-            "cluster bench workload ({} movies, {} nodes) must validate: {e}",
-            mode.movies(),
-            spec.nodes
-        )
-    });
-
-    let cfg = cell_config(mode, spec);
+    let cfg = cell_config(mode, spec, fast_forward);
     let t0 = WallInstant::now();
     let mut cluster = Cluster::with_observer(cfg.clone(), obs.clone()).unwrap_or_else(|e| {
         panic!(
@@ -506,10 +546,26 @@ pub fn run_cluster_bench(
     obs: &Obs,
     progress: &(dyn Fn(&str) + Sync),
 ) -> ClusterBenchReport {
+    run_cluster_bench_configured(mode, jobs, true, obs, progress)
+}
+
+/// [`run_cluster_bench`] with every node engine's event-driven
+/// fast-forward toggled explicitly (`repro cluster --no-fast-forward`).
+/// Deterministic fields are bit-identical either way — pinned by the
+/// equivalence tests below.
+#[must_use]
+pub fn run_cluster_bench_configured(
+    mode: ClusterBenchMode,
+    jobs: usize,
+    fast_forward: bool,
+    obs: &Obs,
+    progress: &(dyn Fn(&str) + Sync),
+) -> ClusterBenchReport {
     let specs = mode.cells();
     let total = specs.len();
     let jobs = jobs.max(1).min(total.max(1));
     let t0 = WallInstant::now();
+    let traces = SharedTraces::generate(mode, &specs);
 
     let announce = |i: usize, spec: ClusterCellSpec| {
         progress(&format!(
@@ -528,7 +584,15 @@ pub fn run_cluster_bench(
             .enumerate()
             .map(|(i, &spec)| {
                 announce(i, spec);
-                run_cluster_cell(mode, spec, obs, false, None)
+                run_cluster_cell(
+                    mode,
+                    spec,
+                    traces.for_nodes(spec.nodes),
+                    fast_forward,
+                    obs,
+                    false,
+                    None,
+                )
             })
             .collect()
     } else {
@@ -543,7 +607,15 @@ pub fn run_cluster_bench(
                         break;
                     }
                     announce(i, specs[i]);
-                    let result = run_cluster_cell(mode, specs[i], obs, false, None);
+                    let result = run_cluster_cell(
+                        mode,
+                        specs[i],
+                        traces.for_nodes(specs[i].nodes),
+                        fast_forward,
+                        obs,
+                        false,
+                        None,
+                    );
                     *slots[i]
                         .lock()
                         .expect("cluster bench slot mutex poisoned: a worker panicked") =
@@ -595,6 +667,7 @@ pub fn run_cluster_bench_traced(
     let specs = mode.cells();
     let total = specs.len();
     let t0 = WallInstant::now();
+    let traces = SharedTraces::generate(mode, &specs);
 
     let mut cells = Vec::with_capacity(total);
     for (i, &spec) in specs.iter().enumerate() {
@@ -630,7 +703,15 @@ pub fn run_cluster_bench_traced(
         };
         let obs = Obs::new(cell_sink).with_metrics(base_obs.metrics().clone());
         let series = CellSeries::new(spec.nodes);
-        let cell = run_cluster_cell(mode, spec, &obs, true, Some(&series));
+        let cell = run_cluster_cell(
+            mode,
+            spec,
+            traces.for_nodes(spec.nodes),
+            true,
+            &obs,
+            true,
+            Some(&series),
+        );
         let snap = recorder.snapshot();
 
         let mut header = Object::new();
@@ -826,5 +907,69 @@ mod tests {
                 "imbalance must be bit-identical across job counts"
             );
         }
+    }
+
+    fn assert_cluster_cells_bit_identical(fast: &ClusterBenchReport, slow: &ClusterBenchReport) {
+        assert_eq!(fast.cells.len(), slow.cells.len());
+        for (a, b) in fast.cells.iter().zip(&slow.cells) {
+            let label = format!("{}n/{}/{}", a.nodes, a.placement, a.dispatch);
+            assert_eq!(a.nodes, b.nodes, "{label}");
+            assert_eq!(a.placement, b.placement, "{label}");
+            assert_eq!(a.dispatch, b.dispatch, "{label}");
+            assert_eq!(a.dispatched, b.dispatched, "{label}: dispatched");
+            assert_eq!(a.admitted, b.admitted, "{label}: admitted");
+            assert_eq!(a.deferred, b.deferred, "{label}: deferred");
+            assert_eq!(a.rejected, b.rejected, "{label}: rejected");
+            assert_eq!(a.redirected, b.redirected, "{label}: redirected");
+            assert_eq!(
+                a.overflow_queued, b.overflow_queued,
+                "{label}: overflow_queued"
+            );
+            assert_eq!(a.underflows, b.underflows, "{label}: underflows");
+            assert_eq!(
+                a.peak_memory_mib.to_bits(),
+                b.peak_memory_mib.to_bits(),
+                "{label}: peak memory"
+            );
+            assert_eq!(
+                a.imbalance_ratio.to_bits(),
+                b.imbalance_ratio.to_bits(),
+                "{label}: imbalance"
+            );
+            for (na, nb) in a.per_node.iter().zip(&b.per_node) {
+                assert_eq!(na.dispatched, nb.dispatched, "{label} node {}", na.node);
+                assert_eq!(na.admitted, nb.admitted, "{label} node {}", na.node);
+                assert_eq!(na.deferred, nb.deferred, "{label} node {}", na.node);
+                assert_eq!(
+                    na.peak_memory_mib.to_bits(),
+                    nb.peak_memory_mib.to_bits(),
+                    "{label} node {}",
+                    na.node
+                );
+            }
+        }
+    }
+
+    /// The tentpole contract, cluster edition at smoke scale: every node
+    /// engine's fast-forward path matches the legacy path bit for bit.
+    #[test]
+    fn fast_forward_smoke_cluster_matches_legacy_bit_for_bit() {
+        let obs = Obs::null();
+        let fast = run_cluster_bench_configured(ClusterBenchMode::Smoke, 1, true, &obs, &|_| {});
+        let slow = run_cluster_bench_configured(ClusterBenchMode::Smoke, 1, false, &obs, &|_| {});
+        assert_cluster_cells_bit_identical(&fast, &slow);
+    }
+
+    /// The full 45-cell cluster matrix, both paths. `#[ignore]`d out of
+    /// tier-1 (expensive, doubly so in debug); CI runs it with
+    /// `--ignored` in a release job.
+    #[test]
+    #[ignore = "full 45-cell cluster matrix twice; run in release with --ignored"]
+    fn fast_forward_full_cluster_matrix_matches_legacy_bit_for_bit() {
+        let obs = Obs::null();
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let fast = run_cluster_bench_configured(ClusterBenchMode::Full, jobs, true, &obs, &|_| {});
+        let slow = run_cluster_bench_configured(ClusterBenchMode::Full, jobs, false, &obs, &|_| {});
+        assert_cluster_cells_bit_identical(&fast, &slow);
     }
 }

@@ -21,13 +21,13 @@ pub use baseline::{
     check_against_baseline, check_cluster_against_baseline, merge_cluster_into_baseline,
 };
 pub use cluster::{
-    run_cluster_bench, run_cluster_bench_traced, ClusterBenchMode, ClusterBenchReport,
-    ClusterCellResult,
+    run_cluster_bench, run_cluster_bench_configured, run_cluster_bench_traced, ClusterBenchMode,
+    ClusterBenchReport, ClusterCellResult,
 };
 pub use compare::{compare_documents, CompareReport, CompareVerdict};
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, gss_g, tab3, tab4, tab5, vcr,
 };
-pub use perf::{run_bench, BenchMode, BenchReport, CellResult};
+pub use perf::{run_bench, run_bench_configured, BenchMode, BenchReport, CellResult};
 pub use report::render_run_report;
 pub use scale::Scale;

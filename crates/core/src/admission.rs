@@ -19,6 +19,7 @@
 //! allocation, and departure.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use vod_obs::{Event, EventKind, Obs};
 use vod_types::{Bits, ConfigError, Instant, RequestId, Seconds, VodError};
@@ -94,7 +95,7 @@ struct Record {
 #[derive(Clone, Debug)]
 pub struct AdmissionController {
     params: SystemParams,
-    table: SizeTable,
+    table: Arc<SizeTable>,
     log: ArrivalLog,
     records: HashMap<RequestId, Record>,
     /// Multiset of `n_i + k_i` over records with an allocation.
@@ -133,7 +134,7 @@ impl AdmissionController {
         if !t_log.is_valid_duration() || t_log <= Seconds::ZERO {
             return Err(ConfigError::new("t_log", "must be positive"));
         }
-        let table = SizeTable::build_instrumented(&params, metrics);
+        let table = SizeTable::shared_instrumented(&params, metrics);
         Ok(AdmissionController {
             params,
             table,

@@ -22,6 +22,16 @@ use vod_types::{Instant, Seconds};
 pub struct ArrivalLog {
     t_log: Seconds,
     arrivals: VecDeque<Instant>,
+    /// Bumped whenever the retained set changes (a record or a prune
+    /// pop). The sweep in [`ArrivalLog::k_log`] depends only on the
+    /// retained arrivals and `period` — `now` enters only through
+    /// pruning — so `(generation, period)` fully keys its result.
+    generation: u64,
+    /// `(generation, period, k)` of the last sweep, reused verbatim
+    /// while the retained set and period are unchanged. In steady state
+    /// many services run between arrivals, so this turns the O(len)
+    /// sweep into an O(1) lookup without changing a single bit.
+    memo: Option<(u64, Seconds, usize)>,
 }
 
 impl ArrivalLog {
@@ -31,6 +41,8 @@ impl ArrivalLog {
         ArrivalLog {
             t_log,
             arrivals: VecDeque::new(),
+            generation: 0,
+            memo: None,
         }
     }
 
@@ -49,6 +61,7 @@ impl ArrivalLog {
             _ => at,
         };
         self.arrivals.push_back(at);
+        self.generation += 1;
     }
 
     /// `k_log`: the maximum number of arrivals in any window of length
@@ -69,6 +82,11 @@ impl ArrivalLog {
         if self.arrivals.is_empty() || period <= Seconds::ZERO {
             return 0;
         }
+        if let Some((gen, p, k)) = self.memo {
+            if gen == self.generation && p == period {
+                return k;
+            }
+        }
         // Max over windows anchored at each retained arrival: the densest
         // window starts at an arrival. Two-pointer sweep, O(len).
         let times = self.arrivals.make_contiguous();
@@ -83,6 +101,7 @@ impl ArrivalLog {
             }
             best = best.max(j - i);
         }
+        self.memo = Some((self.generation, period, best));
         best
     }
 
@@ -103,6 +122,7 @@ impl ArrivalLog {
         while let Some(&front) = self.arrivals.front() {
             if front < horizon {
                 self.arrivals.pop_front();
+                self.generation += 1;
             } else {
                 break;
             }
@@ -184,6 +204,32 @@ mod tests {
             prev = k;
         }
         assert_eq!(prev, 6);
+    }
+
+    #[test]
+    fn memoized_k_log_matches_fresh_sweep() {
+        // Interleave records, repeated queries (memo hits), and queries
+        // that force pruning; every answer must match a fresh log's.
+        let arrivals = [3.0, 9.0, 14.0, 15.0, 33.0, 50.0, 70.0, 70.0, 90.0];
+        let mut live = ArrivalLog::new(Seconds::from_secs(45.0));
+        // Queries use a monotone clock so the fresh log's single prune
+        // reaches the same horizon as the live log's prune history.
+        let mut clock = 0.0f64;
+        for (i, &a) in arrivals.iter().enumerate() {
+            live.record(t(a));
+            for q in 0..4 {
+                clock = clock.max(a + f64::from(q) * 7.0);
+                let now = t(clock);
+                let period = Seconds::from_secs(if q % 2 == 0 { 10.0 } else { 25.0 });
+                let mut fresh = ArrivalLog::new(Seconds::from_secs(45.0));
+                for &b in &arrivals[..=i] {
+                    fresh.record(t(b));
+                }
+                // A fresh log has no memo; compare against its sweep.
+                let want = fresh.k_log(now, period);
+                assert_eq!(live.k_log(now, period), want, "at={a} q={q}");
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! baselines, behind one sizing interface.
 
 use core::fmt;
+use std::sync::Arc;
 
 use vod_types::{Bits, ConfigError};
 
@@ -72,8 +73,9 @@ pub struct Sizer {
     static_size: Bits,
     /// Eq. 5 evaluated at every `n` (for the naive scheme).
     naive_sizes: Vec<Bits>,
-    /// Theorem 1's table (for the dynamic scheme).
-    table: Option<SizeTable>,
+    /// Theorem 1's table (for the dynamic scheme), shared process-wide
+    /// via the [`SizeTable::shared_instrumented`] memo.
+    table: Option<Arc<SizeTable>>,
     big_n: usize,
 }
 
@@ -102,7 +104,7 @@ impl Sizer {
         params.validate()?;
         let big_n = params.max_requests();
         let table = match kind {
-            SchemeKind::Dynamic => Some(SizeTable::build_instrumented(params, metrics)),
+            SchemeKind::Dynamic => Some(SizeTable::shared_instrumented(params, metrics)),
             _ => None,
         };
         let naive_sizes = match kind {
@@ -152,7 +154,7 @@ impl Sizer {
     /// The precomputed Theorem-1 table, when the scheme has one.
     #[must_use]
     pub fn table(&self) -> Option<&SizeTable> {
-        self.table.as_ref()
+        self.table.as_deref()
     }
 }
 

@@ -72,6 +72,17 @@ pub struct EngineConfig {
     /// Seed for the sampled-latency rotation draw (ignored under
     /// [`LatencyModel::WorstCase`]).
     pub latency_seed: u64,
+    /// Event-driven fast-forward (default on): idle stretches advance in
+    /// one jump to the next interesting time — the minimum over the next
+    /// arrival, the earliest *live* departure (dead heap entries are
+    /// swept in the same pass), and the deferral queue's next slot
+    /// boundary — instead of hopping event-by-event through stale heap
+    /// entries. Provably equivalent: every skipped hop mutates only the
+    /// clock, so `DiskRunStats` is bit-identical either way (pinned by
+    /// the `fastforward` tests and proptest). `false` is the
+    /// `--no-fast-forward` escape hatch taking the legacy hop-by-hop
+    /// path.
+    pub fast_forward: bool,
 }
 
 impl EngineConfig {
@@ -92,6 +103,7 @@ impl EngineConfig {
             video_length: Seconds::from_minutes(120.0),
             latency_model: LatencyModel::WorstCase,
             latency_seed: 0x5eed,
+            fast_forward: true,
         }
     }
 }
@@ -260,6 +272,13 @@ pub struct DiskEngine {
     /// Reused scratch for [`Self::sort_by_position`]: avoids a key-map
     /// allocation per cycle.
     sort_scratch: Vec<(f64, SlotId)>,
+    /// Single-entry memo of `worst_disk_latency(n)` — a pure function of
+    /// the (fixed) disk profile and `n`, recomputed only when the active
+    /// stream count changes. Exact: a hit returns the identical bits.
+    dl_memo: Option<(usize, Seconds)>,
+    /// Single-entry memo of [`Self::period_estimate`], pure in
+    /// `(n, last_k)` for fixed parameters. Exact for the same reason.
+    period_memo: Option<(usize, usize, Seconds)>,
     mem: MemTracker,
     conc_events: Vec<(Instant, i32)>,
     stats: DiskRunStats,
@@ -369,6 +388,8 @@ impl DiskEngine {
             departures: BinaryHeap::new(),
             due_heap: BinaryHeap::new(),
             sort_scratch: Vec::new(),
+            dl_memo: None,
+            period_memo: None,
             mem: MemTracker::default(),
             conc_events: Vec::new(),
             stats: DiskRunStats::default(),
@@ -534,12 +555,16 @@ impl DiskEngine {
                     plan_timer.stop();
                     // Idle: jump to the next external event (arrival,
                     // departure, or a queued request's slot boundary).
-                    let candidates = [
-                        next_arrival,
-                        self.earliest_departure(),
-                        self.pending.front().map(|p| p.eligible_at),
-                    ];
-                    let next = candidates.iter().flatten().copied().min();
+                    let next = if self.cfg.fast_forward {
+                        self.next_event_horizon(next_arrival)
+                    } else {
+                        let candidates = [
+                            next_arrival,
+                            self.earliest_departure(),
+                            self.pending.front().map(|p| p.eligible_at),
+                        ];
+                        candidates.iter().flatten().copied().min()
+                    };
                     match next {
                         Some(target) => self.t = target.max(self.t),
                         None => {
@@ -642,16 +667,27 @@ impl DiskEngine {
                         return Step::Progressed;
                     }
                 }
-                let due_min = self.earliest_due();
-                self.obs
-                    .emit_with(EventKind::CyclePlanned, || Event::CyclePlanned {
-                        at: self.t,
-                        start,
-                        planned: plan.start,
-                        n: self.streams.len(),
-                        due_min,
-                        insertion_budget: plan.insertion_budget,
-                    });
+                // `due_min` feeds only the event payload, but the query
+                // is run unconditionally: its amortized pops are what
+                // keep the lazy-deletion due heap tight (one push per
+                // service, stale entries popped as they surface). Gating
+                // it behind the event kind turns the heap append-only
+                // between `note_due` compactions, and the compaction
+                // churn costs ~2x this cell throughput on sustained-load
+                // cells. Observation-only either way: the result feeds
+                // nothing but the event, so the run is bit-identical.
+                {
+                    let due_min = self.earliest_due();
+                    self.obs
+                        .emit_with(EventKind::CyclePlanned, || Event::CyclePlanned {
+                            at: self.t,
+                            start,
+                            planned: plan.start,
+                            n: self.streams.len(),
+                            due_min,
+                            insertion_budget: plan.insertion_budget,
+                        });
+                }
                 self.t = start;
                 self.cycle_start = start;
                 self.cursor = 0;
@@ -1009,6 +1045,15 @@ impl DiskEngine {
     }
 
     fn try_admissions(&mut self) {
+        // Nothing to do on the overwhelmingly common empty/ineligible
+        // queue: bail before starting the phase timer, so an attached
+        // registry doesn't charge two clock reads per service for a
+        // no-op (the admission phase now times actual admission work).
+        match self.pending.front() {
+            None => return,
+            Some(head) if head.eligible_at > self.t => return,
+            Some(_) => {}
+        }
         let _t = self.m.admission.start_timer();
         loop {
             let Some(head) = self.pending.front().copied() else {
@@ -1215,19 +1260,26 @@ impl DiskEngine {
         let now = self.t;
         let id = self.streams[slot].id;
 
-        // Allocation: compute (n_c, k_c) per scheme.
-        let period = self.period_estimate();
-        let (n_c, k_c, audit) = match &mut self.scheme {
+        // Allocation: compute (n_c, k_c) per scheme. The static scheme
+        // never reads the period estimate, so it skips the computation
+        // outright (the estimate only ever fed the estimating arms).
+        let (n_c, k_c, audit) = match &self.scheme {
             SchemeState::Static => (self.cfg.params.max_requests(), 0, false),
-            SchemeState::Naive(log) => {
-                let k = log.k_log(now, period) + self.cfg.params.alpha as usize;
-                (n_active, k, true)
-            }
-            SchemeState::Dynamic(ctl) => {
-                let alloc = ctl
-                    .allocate(id, now, period)
-                    .expect("serviced streams are admitted");
-                (alloc.n, alloc.k, true)
+            _ => {
+                let period = self.period_estimate();
+                match &mut self.scheme {
+                    SchemeState::Static => unreachable!("matched above"),
+                    SchemeState::Naive(log) => {
+                        let k = log.k_log(now, period) + self.cfg.params.alpha as usize;
+                        (n_active, k, true)
+                    }
+                    SchemeState::Dynamic(ctl) => {
+                        let alloc = ctl
+                            .allocate(id, now, period)
+                            .expect("serviced streams are admitted");
+                        (alloc.n, alloc.k, true)
+                    }
+                }
             }
         };
         self.last_k = k_c;
@@ -1256,13 +1308,13 @@ impl DiskEngine {
         // sampled mode moves the real head over the on-disk layout and
         // draws the rotational delay, so services usually complete early
         // (the buffers stay sized for the worst case).
-        let dl = match self.sampled_disk.as_deref_mut() {
-            None => self
-                .cfg
-                .params
-                .method
-                .worst_disk_latency(&self.cfg.params.disk, n_active),
-            Some(disk) => {
+        let dl = match self.sampled_disk.is_some() {
+            false => self.dl_for(n_active),
+            true => {
+                let disk = self
+                    .sampled_disk
+                    .as_deref_mut()
+                    .expect("checked is_some above");
                 let stream = &self.streams[slot];
                 Self::ensure_placed(
                     disk,
@@ -1442,13 +1494,61 @@ impl DiskEngine {
     /// Called after every stream-state change that leaves the stream live
     /// (both `service` exits), so the heap always holds an entry whose
     /// stored due recomputes bit-exactly from the stream's current state.
+    ///
+    /// A push is skipped when the due is bit-identical to the one already
+    /// on the heap for this stream (`Stream::noted_due`): an equality-tight
+    /// refill often reproduces the previous due exactly, and the earlier
+    /// entry still recomputes bit-exactly, so it still answers queries.
+    /// Duplicates never change the heap minimum — they only bloat the heap
+    /// until the compaction below churns every cycle. Because stale
+    /// entries are only ever dropped when their stored due *disagrees*
+    /// with the stream, the retained entry stays live until the due
+    /// changes — at which point the changed due is pushed here.
     fn note_due(&mut self, slot: SlotId) {
         let cr = self.cfg.params.cr();
-        if let Some(s) = self.streams.get(slot) {
-            if let Some(due) = s.due_at(cr) {
-                self.due_heap.push(Reverse((due, s.id.raw(), slot)));
+        if let Some(s) = self.streams.get_mut(slot) {
+            let due = s.due_at(cr);
+            if due != s.noted_due {
+                s.noted_due = due;
+                if let Some(due) = due {
+                    self.due_heap.push(Reverse((due, s.id.raw(), slot)));
+                }
             }
         }
+        // Safety valve: the per-cycle `earliest_due` prune only pops
+        // stale entries that reach the top, so pathological push/due
+        // patterns could still grow the lazy-deletion heap. Compaction
+        // keeps exactly the entries a query would accept (those
+        // recomputing bit-exactly), so query results — and the run — are
+        // unchanged. With the per-cycle prune this almost never fires.
+        if self.due_heap.len() > 4 * (self.streams.len() + 16) {
+            let heap = std::mem::take(&mut self.due_heap);
+            let mut entries = heap.into_vec();
+            let streams = &self.streams;
+            entries.retain(|&Reverse((due, _, s))| {
+                streams.get(s).is_some_and(|st| st.due_at(cr) == Some(due))
+            });
+            self.due_heap = BinaryHeap::from(entries);
+        }
+    }
+
+    /// The next *interesting* time for an idle engine (no stream needs
+    /// service right now): the minimum over the caller's next workload
+    /// arrival, the earliest departure on the heap, and the deferral
+    /// queue's next slot boundary. This is the fast-forward target — the
+    /// clock advances across the whole idle stretch in one O(1) jump,
+    /// and every quantity consulted is exactly what the legacy hop-by-hop
+    /// path consults, so the jump lands on the identical instant.
+    fn next_event_horizon(&mut self, next_arrival: Option<Instant>) -> Option<Instant> {
+        [
+            next_arrival,
+            self.earliest_departure(),
+            self.pending.front().map(|p| p.eligible_at),
+        ]
+        .iter()
+        .flatten()
+        .copied()
+        .min()
     }
 
     // ---------- cycle planning ----------
@@ -1580,47 +1680,16 @@ impl DiskEngine {
         let n = self.streams.len();
         let big_n = self.cfg.params.max_requests();
         let alpha = self.cfg.params.alpha as usize;
-        let dl = self
-            .cfg
-            .params
-            .method
-            .worst_disk_latency(&self.cfg.params.disk, n);
+        let dl = self.dl_for(n);
 
-        let mut dues: Vec<Option<Instant>> = Vec::with_capacity(self.order.len());
-        let mut earliest: Option<Instant> = None;
-        let mut eligible: Option<Instant> = None;
-        for &slot in &self.order {
-            let s = &self.streams[slot];
-            if !s.viewing_started() {
-                // An admitted newcomer (its boundary already passed):
-                // service it right away.
-                eligible = Some(match eligible {
-                    Some(c) => c.min(self.t),
-                    None => self.t,
-                });
-                dues.push(None);
-                continue;
-            }
-            let due = s.due_at(cr);
-            if let Some(d) = due {
-                earliest = Some(match earliest {
-                    Some(c) => c.min(d),
-                    None => d,
-                });
-            }
-            dues.push(due);
-        }
-        let Some(earliest) = earliest else {
-            // No refills pending; a waiting newcomer still forces a cycle
-            // at its boundary. With no dues to protect, insertions are
-            // unconstrained.
-            return eligible.map(|e| CyclePlan {
-                start: e,
-                fallback: e,
-                insertion_budget: usize::MAX,
-            });
-        };
-
+        // Everything cycle-invariant is hoisted ahead of the stream
+        // sweep: the insertion headroom, the slot bound, and the
+        // allocation size the fallback computation shares (only its
+        // `remaining_demand` clamp is per-stream). All of it is pure
+        // state queries, so computing it before the sweep instead of
+        // between two sweeps changes no bits -- and the plan now runs in
+        // one allocation-free pass where it used to fill a fresh `dues`
+        // vector and re-look up the size table once per stream.
         let (headroom, size_bound) = match (&mut self.scheme, self.cfg.scheme) {
             (SchemeState::Dynamic(ctl), _) => {
                 let h = ctl.admission_bound().saturating_sub(n);
@@ -1641,14 +1710,31 @@ impl DiskEngine {
         };
         let h = headroom.saturating_sub(n);
         let slot = dl + size_bound / tr;
+        let k_fb = self.last_k.max(alpha);
+        let base_sz = match self.cfg.scheme {
+            SchemeKind::Static | SchemeKind::StaticMaxUse => self.sizer.max_size(),
+            _ => self.sizer.size(n, k_fb),
+        };
+
         // The stream at service position p completes no later than
         // `start + (p + inserted)·slot` with `inserted ≤ h`; it must be
         // refilled by its own due. Take the tightest constraint.
         let mut start: Option<Instant> = None;
         let mut fallback: Option<Instant> = None;
-        for (idx, due) in dues.iter().enumerate() {
-            let Some(due) = due else { continue };
-            let latest = *due - slot * (idx + 1 + h) as f64;
+        let mut eligible: Option<Instant> = None;
+        for (idx, &slot_id) in self.order.iter().enumerate() {
+            let s = &self.streams[slot_id];
+            if !s.viewing_started() {
+                // An admitted newcomer (its boundary already passed):
+                // service it right away.
+                eligible = Some(match eligible {
+                    Some(c) => c.min(self.t),
+                    None => self.t,
+                });
+                continue;
+            }
+            let Some(due) = s.due_at(cr) else { continue };
+            let latest = due - slot * (idx + 1 + h) as f64;
             start = Some(match start {
                 Some(c) => c.min(latest),
                 None => latest,
@@ -1658,27 +1744,26 @@ impl DiskEngine {
             // `due − size/CR` — and should start no later than one slot
             // before the due. The max of the two is this stream's
             // earliest *useful* service time.
-            let sz = {
-                let s_ref = &self.streams[self.order[idx]];
-                let k = self.last_k.max(self.cfg.params.alpha as usize);
-                match self.cfg.scheme {
-                    SchemeKind::Static | SchemeKind::StaticMaxUse => self.sizer.max_size(),
-                    _ => self.sizer.size(n, k),
-                }
-                .min(
-                    s_ref
-                        .remaining_demand(self.t, cr)
-                        .unwrap_or(self.sizer.max_size()),
-                )
-            };
-            let useful = (*due - sz / cr + Seconds::from_millis(1.0)).max(*due - slot);
+            let sz = base_sz.min(
+                s.remaining_demand(self.t, cr)
+                    .unwrap_or(self.sizer.max_size()),
+            );
+            let useful = (due - sz / cr + Seconds::from_millis(1.0)).max(due - slot);
             fallback = Some(match fallback {
                 Some(c) => c.min(useful),
                 None => useful,
             });
         }
-        let _ = earliest;
-        let mut start = start.expect("at least one due exists");
+        let Some(mut start) = start else {
+            // No refills pending; a waiting newcomer still forces a cycle
+            // at its boundary. With no dues to protect, insertions are
+            // unconstrained.
+            return eligible.map(|e| CyclePlan {
+                start: e,
+                fallback: e,
+                insertion_budget: usize::MAX,
+            });
+        };
         let mut fb = fallback.expect("at least one due exists");
         if let Some(e) = eligible {
             start = start.min(e);
@@ -1705,16 +1790,36 @@ impl DiskEngine {
     /// to. (Using the measured cycle duration instead creates a feedback
     /// loop: catch-up cycles run long, which widens the window, which
     /// raises `k_log`, which grows the buffers, which lengthens cycles.)
-    fn period_estimate(&self) -> Seconds {
+    fn period_estimate(&mut self) -> Seconds {
         let n = self.streams.len().max(1);
         let k = self.last_k.max(self.cfg.params.alpha as usize);
-        let dl = self
+        if let Some((mn, mk, v)) = self.period_memo {
+            if mn == n && mk == k {
+                return v;
+            }
+        }
+        let slot = self.dl_for(n) + self.sizer.size(n, k) / self.cfg.params.tr();
+        let v = slot * (n + k) as f64;
+        self.period_memo = Some((n, k, v));
+        v
+    }
+
+    /// `worst_disk_latency` at `n` active streams, via the single-entry
+    /// memo — the model is a pure function of the fixed disk profile and
+    /// `n`, so a hit returns the identical bits a recompute would.
+    fn dl_for(&mut self, n: usize) -> Seconds {
+        if let Some((mn, v)) = self.dl_memo {
+            if mn == n {
+                return v;
+            }
+        }
+        let v = self
             .cfg
             .params
             .method
             .worst_disk_latency(&self.cfg.params.disk, n);
-        let slot = dl + self.sizer.size(n, k) / self.cfg.params.tr();
-        slot * (n + k) as f64
+        self.dl_memo = Some((n, v));
+        v
     }
 
     // ---------- departures ----------

@@ -1,0 +1,241 @@
+//! Fast-forward ≡ legacy equivalence for the engine's idle path.
+//!
+//! With `EngineConfig::fast_forward` on (the default), an idle engine
+//! jumps straight to the next interesting instant — the minimum over the
+//! next workload arrival, the earliest departure-heap head, and the
+//! deferral queue's next slot boundary — computed in one place
+//! (`next_event_horizon`). With it off, the engine takes the legacy
+//! hop-by-hop candidate scan. The contract (DESIGN §11): the two paths
+//! produce **bit-identical** `DiskRunStats` on any trace. These tests pin
+//! the edge cases where an event-driven jump could plausibly diverge —
+//! arrivals landing exactly on a jumped-to boundary, deferrals draining
+//! the instant capacity frees, VCR-rewritten traces (departure + instant
+//! re-request), and fully idle runs — plus a proptest sweeping arbitrary
+//! traces across every scheduling method × scheme × profile skew θ.
+
+use proptest::prelude::*;
+use vod_core::SchemeKind;
+use vod_sched::SchedulingMethod;
+use vod_sim::{DiskEngine, DiskRunStats, EngineConfig};
+use vod_types::{DiskId, Instant, Seconds, VideoId};
+use vod_workload::{generate, with_vcr_actions, Arrival, VcrConfig, WorkloadConfig};
+
+fn run_path(
+    method: SchedulingMethod,
+    scheme: SchemeKind,
+    fast_forward: bool,
+    trace: &[Arrival],
+) -> DiskRunStats {
+    let mut cfg = EngineConfig::paper(method, scheme);
+    cfg.fast_forward = fast_forward;
+    DiskEngine::new(cfg)
+        .expect("paper config is valid")
+        .run(trace)
+}
+
+/// Runs both paths and asserts the stats match bit for bit: structural
+/// equality first (readable failures), then the `Debug` rendering, which
+/// serialises every float through its shortest round-trip form — two
+/// stats with different bits cannot render identically.
+fn assert_paths_equivalent(method: SchedulingMethod, scheme: SchemeKind, trace: &[Arrival]) {
+    let fast = run_path(method, scheme, true, trace);
+    let slow = run_path(method, scheme, false, trace);
+    assert_eq!(
+        fast,
+        slow,
+        "stats diverged for {method:?}/{scheme:?} over {} arrivals",
+        trace.len()
+    );
+    assert_eq!(
+        format!("{fast:?}"),
+        format!("{slow:?}"),
+        "debug renderings diverged for {method:?}/{scheme:?}"
+    );
+}
+
+fn arrival(at_s: f64, video: u64, viewing_s: f64) -> Arrival {
+    Arrival {
+        at: Instant::from_secs(at_s),
+        disk: DiskId::new(0),
+        video: VideoId::new(video),
+        viewing: Seconds::from_secs(viewing_s),
+    }
+}
+
+const ALL_METHODS: [SchedulingMethod; 3] = [
+    SchedulingMethod::RoundRobin,
+    SchedulingMethod::Sweep,
+    SchedulingMethod::Gss { group_size: 4 },
+];
+
+const ALL_SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Static,
+    SchemeKind::StaticMaxUse,
+    SchemeKind::NaiveDynamic,
+    SchemeKind::Dynamic,
+];
+
+/// A run with no arrivals at all fast-forwards end to end: no cycles, no
+/// services, and both paths agree on the (empty) stats.
+#[test]
+fn zero_arrival_run_fast_forwards_end_to_end() {
+    for method in ALL_METHODS {
+        for scheme in ALL_SCHEMES {
+            let fast = run_path(method, scheme, true, &[]);
+            assert_eq!(fast.admitted, 0);
+            assert_eq!(fast.services, 0);
+            assert_paths_equivalent(method, scheme, &[]);
+        }
+    }
+}
+
+/// Long fully-idle gaps between short viewings: the engine spends almost
+/// the whole run with zero active streams, jumping gap to gap.
+#[test]
+fn zero_active_stream_gaps_are_jumped_identically() {
+    let trace: Vec<Arrival> = (0u32..6)
+        .map(|i| arrival(f64::from(i) * 1800.0, u64::from(i), 20.0))
+        .collect();
+    for method in ALL_METHODS {
+        for scheme in ALL_SCHEMES {
+            assert_paths_equivalent(method, scheme, &trace);
+        }
+    }
+}
+
+/// Arrivals landing exactly on the instants the idle engine jumps to —
+/// another stream's departure boundary and the first arrival itself. The
+/// fast path must not skip past (or double-process) a boundary event.
+#[test]
+fn arrival_on_a_fast_forwarded_boundary_is_not_skipped() {
+    // Stream 0 watches 90 s; streams 1 and 2 arrive exactly at its
+    // nominal departure boundary and one cycle-ish later, with a lone
+    // stream 3 far out so the engine must jump an idle stretch to it.
+    let trace = vec![
+        arrival(0.0, 0, 90.0),
+        arrival(90.0, 1, 45.0),
+        arrival(90.0, 2, 45.0),
+        arrival(600.0, 3, 30.0),
+    ];
+    for method in ALL_METHODS {
+        for scheme in ALL_SCHEMES {
+            assert_paths_equivalent(method, scheme, &trace);
+        }
+    }
+}
+
+/// A burst beyond the admission bound forces deferrals; the deferred
+/// requests drain exactly when departures free capacity. Both paths must
+/// agree on every deferral count and admission instant (visible through
+/// the initial-latency samples compared above).
+#[test]
+fn deferral_drain_at_capacity_free_instants_matches() {
+    // 100 near-simultaneous arrivals against the paper's N = 79 disk:
+    // the tail defers (or rejects) and drains as the 60 s viewings end.
+    let mut trace: Vec<Arrival> = (0u32..100)
+        .map(|i| arrival(f64::from(i) * 0.05, u64::from(i % 8), 60.0))
+        .collect();
+    trace.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+    for method in [SchedulingMethod::RoundRobin, SchedulingMethod::Sweep] {
+        for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
+            let fast = run_path(method, scheme, true, &trace);
+            assert!(
+                fast.deferrals > 0 || fast.rejected > 0,
+                "burst was meant to overrun admission for {method:?}/{scheme:?}"
+            );
+            assert_paths_equivalent(method, scheme, &trace);
+        }
+    }
+}
+
+/// VCR actions are modelled as departure + instant re-request: the
+/// rewritten trace is dense in arrivals that coincide exactly with
+/// departures — the worst case for an event-jump off-by-one.
+#[test]
+fn vcr_pause_resume_traces_are_equivalent() {
+    let mut cfg = WorkloadConfig::paper_single_disk(0.5, 40.0);
+    cfg.duration = Seconds::from_hours(2.0);
+    cfg.peak = Seconds::from_hours(1.0);
+    let base = generate(&cfg, 7).expect("valid workload");
+    let vcr = with_vcr_actions(&base, VcrConfig::fidgety(), 11).expect("valid VCR config");
+    assert!(
+        vcr.arrivals.len() > base.arrivals.len(),
+        "VCR rewrite should split viewings"
+    );
+    for scheme in [SchemeKind::Static, SchemeKind::Dynamic] {
+        assert_paths_equivalent(SchedulingMethod::RoundRobin, scheme, &vcr.arrivals);
+    }
+}
+
+/// The paper's θ grid over generated day profiles: every method × scheme
+/// × θ cell replays both paths identically on a quick generated trace.
+#[test]
+fn generated_theta_grid_is_equivalent() {
+    for theta in [0.0, 0.5, 1.0] {
+        let mut cfg = WorkloadConfig::paper_single_disk(theta, 30.0);
+        cfg.duration = Seconds::from_hours(2.0);
+        cfg.peak = Seconds::from_hours(1.0);
+        let wl = generate(&cfg, 3).expect("valid workload");
+        for method in ALL_METHODS {
+            for scheme in ALL_SCHEMES {
+                assert_paths_equivalent(method, scheme, &wl.arrivals);
+            }
+        }
+    }
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Arrival>> {
+    prop::collection::vec(
+        // (arrival offset ms, video, viewing seconds)
+        (0u32..600_000, 0u8..12, 1u16..900),
+        0..24,
+    )
+    .prop_map(|raw| {
+        let mut arrivals: Vec<Arrival> = raw
+            .into_iter()
+            .map(|(at_ms, video, viewing_s)| Arrival {
+                at: Instant::from_secs(f64::from(at_ms) / 1000.0),
+                disk: DiskId::new(0),
+                video: VideoId::new(u64::from(video)),
+                viewing: Seconds::from_secs(f64::from(viewing_s)),
+            })
+            .collect();
+        arrivals.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        arrivals
+    })
+}
+
+fn method_strategy() -> impl Strategy<Value = SchedulingMethod> {
+    prop_oneof![
+        Just(SchedulingMethod::RoundRobin),
+        Just(SchedulingMethod::Sweep),
+        Just(SchedulingMethod::Gss { group_size: 4 }),
+    ]
+}
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Static),
+        Just(SchemeKind::StaticMaxUse),
+        Just(SchemeKind::NaiveDynamic),
+        Just(SchemeKind::Dynamic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary traces, every method × scheme: the fast-forward and
+    /// legacy paths replay to bit-identical stats.
+    #[test]
+    fn fast_forward_matches_legacy_on_arbitrary_traces(
+        trace in trace_strategy(),
+        method in method_strategy(),
+        scheme in scheme_strategy(),
+    ) {
+        let fast = run_path(method, scheme, true, &trace);
+        let slow = run_path(method, scheme, false, &trace);
+        prop_assert_eq!(&fast, &slow, "stats diverged for {:?}/{:?}", method, scheme);
+        prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+    }
+}
