@@ -140,6 +140,10 @@ fn print_usage() {
          [--check <baseline>] [--merge-baseline <file>] [--metrics <file.prom>] \
          [--trace <file.jsonl>] [--flight <file.jsonl>]"
     );
+    eprintln!(
+        "       repro chaos [--smoke] [--jobs <n>] [--seed <n>] [--script <file>] \
+         [--out <file>] [--trace <file.jsonl>] [--flight <file.jsonl>]"
+    );
     eprintln!("       repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]");
     eprintln!("       repro report <trace.jsonl> [--out <file.md>] [--series-csv <file.csv>]");
     eprintln!("       repro compare <old.json> <new.json> [--tolerance <x>]");
@@ -150,6 +154,10 @@ fn print_usage() {
     eprintln!("  bench    pinned performance matrix -> BENCH_perf.json");
     eprintln!(
         "  cluster  cluster_scaling matrix (nodes x placement x dispatch) -> BENCH_cluster.json"
+    );
+    eprintln!(
+        "  chaos    fault-injection matrix (scenario x failover x nodes) -> BENCH_chaos.json; \
+         --seed/--script run one ad-hoc episode"
     );
     eprintln!("  trace-analyze  span trees, latency breakdowns, invariant audit of a trace");
     eprintln!("  report   markdown run report (series timelines, latencies, audits) from a trace");
@@ -218,6 +226,13 @@ fn trace_analyze_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if traceview::is_empty_trace(&src) {
+        eprintln!(
+            "error: {} contains no trace lines (empty or truncated file)",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
     let schema = match traceview::check_schema(&src) {
         Ok(s) => s,
         Err(errors) => {
@@ -301,6 +316,13 @@ fn report_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if traceview::is_empty_trace(&src) {
+        eprintln!(
+            "error: {} contains no trace lines (empty or truncated file)",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
     let md = match report::render_run_report(&src) {
         Ok(md) => md,
         Err(e) => {
@@ -753,6 +775,201 @@ fn cluster_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro chaos [--smoke] [--jobs <n>] [--seed <n>] [--script <file>]
+/// [--out <file>] [--trace <file.jsonl>] [--flight <file.jsonl>]`:
+/// the fault-injection matrix (scenario × failover policy × nodes) over
+/// the pinned replicated cluster shape, writing `BENCH_chaos.json`.
+///
+/// `--seed <n>` / `--script <file>` switch to a single ad-hoc episode
+/// at 2 nodes instead of the matrix: the schedule comes from
+/// [`vod_chaos::FaultSchedule::from_seed`] or a fault-script file
+/// (`<t_secs> <node> crash|slow:<f>|pressure:<f>|rejoin[:warm|:cold]`
+/// per line), and the degradation summary prints to stdout.
+fn chaos_main(args: &[String]) -> ExitCode {
+    let mut mode = vod_bench::ChaosBenchMode::Full;
+    let mut out = PathBuf::from("BENCH_chaos.json");
+    let mut trace_path: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
+    let mut seed: Option<u64> = None;
+    let mut script: Option<PathBuf> = None;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--smoke" => mode = vod_bench::ChaosBenchMode::Smoke,
+            "--seed" => {
+                let parsed = iter.next().and_then(|v| v.parse::<u64>().ok());
+                let Some(s) = parsed else {
+                    eprintln!("--seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = Some(s);
+            }
+            "--script" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--script requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                script = Some(PathBuf::from(p));
+            }
+            "--out" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--out requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                out = PathBuf::from(p);
+            }
+            "--trace" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--trace requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(PathBuf::from(p));
+            }
+            "--flight" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--flight requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                flight_path = Some(PathBuf::from(p));
+            }
+            "--jobs" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
+            }
+            other => {
+                eprintln!("unknown chaos option `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let flight = flight_path.as_deref().map(arm_flight);
+    let obs = match &flight {
+        Some(f) => Obs::new(Arc::clone(f) as Arc<dyn Sink>),
+        None => Obs::null(),
+    };
+
+    // Ad-hoc episode: one 2-node run with an explicit schedule.
+    if seed.is_some() || script.is_some() {
+        if seed.is_some() && script.is_some() {
+            eprintln!("--seed and --script are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+        let nodes = 2usize;
+        let horizon =
+            vod_types::Seconds::from_hours(vod_bench::ChaosBenchMode::Smoke.horizon_hours());
+        let schedule = if let Some(path) = &script {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: could not read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match vod_chaos::FaultSchedule::from_script(&src) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: bad fault script {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            vod_chaos::FaultSchedule::from_seed(seed.unwrap_or(0), nodes, horizon)
+        };
+        eprintln!(
+            "chaos: ad-hoc episode, {nodes} nodes, {} fault(s)",
+            schedule.len()
+        );
+        let report = match vod_bench::chaos::run_chaos_adhoc(
+            nodes,
+            schedule,
+            vod_chaos::FailoverPolicy::Migrate,
+            vod_chaos::RecoveryPolicy::Warm,
+            &obs,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let s = &report.summary;
+        println!(
+            "faults {}  interrupted {}  migrated {}  parked {}  dropped {}  unplaceable {}",
+            s.faults_injected, s.interrupted, s.migrated, s.parked, s.dropped, s.unplaceable
+        );
+        println!(
+            "recoveries {}  cold_rebuilds {}  ttr {}  availability {:.4}  underflows {}",
+            s.recoveries,
+            s.cold_rebuilds,
+            s.mean_time_to_recover_s
+                .map_or_else(|| "-".to_owned(), |t| format!("{t:.1}s")),
+            s.availability,
+            report.cluster.underflows(),
+        );
+        if let Some(f) = &flight {
+            flight_report(f);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if let Some(trace_file) = &trace_path {
+        if jobs > 1 {
+            eprintln!("note: --trace runs the matrix sequentially; --jobs ignored");
+        }
+        let mut trace_out = String::new();
+        let report = vod_bench::run_chaos_bench_traced(mode, &obs, &mut trace_out, &|line| {
+            eprintln!("{line}")
+        });
+        if let Err(e) = std::fs::write(trace_file, trace_out) {
+            eprintln!("error: could not write trace {}: {e}", trace_file.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[chaos trace -> {}]", trace_file.display());
+        report
+    } else {
+        vod_bench::run_chaos_bench(mode, jobs, &obs, &|line| eprintln!("{line}"))
+    };
+    for c in &report.cells {
+        println!(
+            "{:>2} nodes  {:<9} {:<8} {:>6} arrivals  {:>4} interrupted  {:>4} migrated  \
+             {:>4} dropped  avail {:>6.4}  {:>2} underflows  {:.2}s",
+            c.nodes,
+            c.scenario,
+            c.failover,
+            c.dispatched,
+            c.interrupted,
+            c.migrated,
+            c.dropped,
+            c.availability,
+            c.underflows,
+            c.wall_clock_s,
+        );
+    }
+    let mut body = report.to_json();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("error: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[chaos {} done in {:.1}s -> {}]",
+        report.mode.label(),
+        report.total_wall_clock_s,
+        out.display()
+    );
+    if let Some(f) = &flight {
+        flight_report(f);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -764,6 +981,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "cluster" {
         return cluster_main(&args[1..]);
+    }
+    if args[0] == "chaos" {
+        return chaos_main(&args[1..]);
     }
     if args[0] == "trace-analyze" {
         return trace_analyze_main(&args[1..]);

@@ -371,7 +371,11 @@ pub fn cluster_engine_config() -> EngineConfig {
     EngineConfig::paper(SchedulingMethod::RoundRobin, SchemeKind::Dynamic)
 }
 
-fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec, fast_forward: bool) -> ClusterConfig {
+pub(crate) fn cell_config(
+    mode: ClusterBenchMode,
+    spec: ClusterCellSpec,
+    fast_forward: bool,
+) -> ClusterConfig {
     let mut engine = cluster_engine_config();
     engine.fast_forward = fast_forward;
     ClusterConfig {
@@ -385,27 +389,37 @@ fn cell_config(mode: ClusterBenchMode, spec: ClusterCellSpec, fast_forward: bool
     }
 }
 
-/// Generates the trace for a cell — a pure function of `(mode, nodes)`:
-/// total expected arrivals scale with the node count, everything else is
-/// pinned by the mode.
-fn cell_workload(mode: ClusterBenchMode, nodes: usize) -> Workload {
-    let mut wl_cfg = MultiMovieConfig::paper_cluster(
-        mode.movies(),
-        0.271,
-        mode.arrivals_per_node() * nodes as f64,
-    );
-    wl_cfg.duration = Seconds::from_hours(mode.horizon_hours());
-    wl_cfg.peak = Seconds::from_hours(mode.horizon_hours() / 2.0);
+/// Generates a pinned bench trace — a pure function of the arguments.
+/// Shared by the cluster matrix and the chaos matrix
+/// ([`crate::chaos`]), so a chaos cell's arrivals match the cluster
+/// cell's at the same shape.
+pub(crate) fn make_workload(
+    movies: usize,
+    expected_total: f64,
+    horizon_hours: f64,
+    seed: u64,
+) -> Workload {
+    let mut wl_cfg = MultiMovieConfig::paper_cluster(movies, 0.271, expected_total);
+    wl_cfg.duration = Seconds::from_hours(horizon_hours);
+    wl_cfg.peak = Seconds::from_hours(horizon_hours / 2.0);
     // A peaked (non-uniform) day: bursts at the peak are what push a
     // node's Assumption-1 bound below its hard N cap, exercising
     // deferral and overflow redirection rather than only rejection.
     wl_cfg.profile_theta = 0.4;
-    multi_movie(&wl_cfg, mode.seed()).unwrap_or_else(|e| {
-        panic!(
-            "cluster bench workload ({} movies, {nodes} nodes) must validate: {e}",
-            mode.movies()
-        )
-    })
+    multi_movie(&wl_cfg, seed)
+        .unwrap_or_else(|e| panic!("bench workload ({movies} movies) must validate: {e}"))
+}
+
+/// Generates the trace for a cell — a pure function of `(mode, nodes)`:
+/// total expected arrivals scale with the node count, everything else is
+/// pinned by the mode.
+fn cell_workload(mode: ClusterBenchMode, nodes: usize) -> Workload {
+    make_workload(
+        mode.movies(),
+        mode.arrivals_per_node() * nodes as f64,
+        mode.horizon_hours(),
+        mode.seed(),
+    )
 }
 
 /// The matrix's seed-invariant build products, generated once per run

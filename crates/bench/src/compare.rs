@@ -199,6 +199,15 @@ fn exact_counters(kind: DocKind) -> &'static [&'static str] {
             "redirected",
             "overflow_queued",
             "underflows",
+            // Chaos-cell degradation counters (`BENCH_chaos.json`); plain
+            // cluster cells lack the keys, and `None == None` passes.
+            "faults_injected",
+            "interrupted",
+            "migrated",
+            "parked_failover",
+            "dropped",
+            "unplaceable",
+            "recoveries",
         ],
     }
 }
@@ -211,14 +220,26 @@ fn cell_label(kind: DocKind, cell: &Json) -> String {
             cell.get("method").and_then(Json::as_str).unwrap_or("?"),
             cell.get("theta").and_then(Json::as_f64).unwrap_or(f64::NAN),
         ),
-        DocKind::Cluster => format!(
-            "{}n/{}/{}",
-            cell.get("nodes")
-                .and_then(Json::as_u64)
-                .map_or_else(|| "?".into(), |n| n.to_string()),
-            cell.get("placement").and_then(Json::as_str).unwrap_or("?"),
-            cell.get("dispatch").and_then(Json::as_str).unwrap_or("?"),
-        ),
+        DocKind::Cluster => {
+            let mut label = format!(
+                "{}n/{}/{}",
+                cell.get("nodes")
+                    .and_then(Json::as_u64)
+                    .map_or_else(|| "?".into(), |n| n.to_string()),
+                cell.get("placement").and_then(Json::as_str).unwrap_or("?"),
+                cell.get("dispatch").and_then(Json::as_str).unwrap_or("?"),
+            );
+            // Chaos cells vary by scenario/failover at fixed shape.
+            if let Some(s) = cell.get("scenario").and_then(Json::as_str) {
+                label.push('/');
+                label.push_str(s);
+            }
+            if let Some(f) = cell.get("failover").and_then(Json::as_str) {
+                label.push('/');
+                label.push_str(f);
+            }
+            label
+        }
     }
 }
 

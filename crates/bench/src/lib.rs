@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 pub mod cluster;
 pub mod compare;
 pub mod experiments;
@@ -20,6 +21,7 @@ pub mod traceview;
 pub use baseline::{
     check_against_baseline, check_cluster_against_baseline, merge_cluster_into_baseline,
 };
+pub use chaos::{run_chaos_bench, run_chaos_bench_traced, ChaosBenchMode, ChaosBenchReport};
 pub use cluster::{
     run_cluster_bench, run_cluster_bench_configured, run_cluster_bench_traced, ClusterBenchMode,
     ClusterBenchReport, ClusterCellResult,

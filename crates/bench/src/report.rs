@@ -153,6 +153,15 @@ pub fn render_run_report(src: &str) -> Result<String, String> {
                     v.get("placement").and_then(Json::as_str).unwrap_or("?"),
                     v.get("dispatch").and_then(Json::as_str).unwrap_or("?"),
                 );
+                // Chaos cells carry the injected scenario and failover
+                // policy; fold them into the label so sections stay
+                // distinguishable across the chaos matrix.
+                if let (Some(s), Some(f)) = (
+                    v.get("scenario").and_then(Json::as_str),
+                    v.get("failover").and_then(Json::as_str),
+                ) {
+                    section.push_str(&format!(" / {s}/{f}"));
+                }
             }
             "series" => {
                 let s = parse_series(&v)

@@ -129,6 +129,15 @@ fn hex_id(v: &Json) -> Option<u64> {
     u64::from_str_radix(v.as_str()?, 16).ok()
 }
 
+/// Returns true when the trace body has no non-empty lines — a
+/// zero-byte or fully truncated file. `repro trace-analyze` and
+/// `repro report` refuse such inputs with a diagnostic instead of
+/// reporting success over nothing ("schema OK: 0 lines" used to pass).
+#[must_use]
+pub fn is_empty_trace(src: &str) -> bool {
+    src.lines().all(|line| line.trim().is_empty())
+}
+
 /// Validates every line of a trace file against the event/marker
 /// schema without building any per-span state.
 ///
@@ -294,12 +303,20 @@ pub fn analyze(src: &str, top_k: usize) -> Result<TraceReport, String> {
             }
             "cluster_cell" => {
                 flush(current.take(), &mut sections);
-                let name = format!(
+                let mut name = format!(
                     "cluster {} nodes / {} / {}",
                     v.get("nodes").and_then(Json::as_u64).unwrap_or(0),
                     v.get("placement").and_then(Json::as_str).unwrap_or("?"),
                     v.get("dispatch").and_then(Json::as_str).unwrap_or("?"),
                 );
+                // Chaos cells also name their scenario and failover
+                // policy; include them so matrix sections stay unique.
+                if let (Some(s), Some(f)) = (
+                    v.get("scenario").and_then(Json::as_str),
+                    v.get("failover").and_then(Json::as_str),
+                ) {
+                    name.push_str(&format!(" / {s}/{f}"));
+                }
                 current = Some(SectionState::new(name, true));
             }
             "cluster_summary" => {
@@ -880,6 +897,16 @@ mod tests {
             check_schema("{\"kind\":\"span_start\",\"t\":1.0}\nnot json\n").expect_err("must fail");
         assert!(errs.iter().any(|e| e.contains("16-hex")));
         assert!(errs.iter().any(|e| e.contains("not JSON")));
+    }
+
+    #[test]
+    fn empty_trace_detection_ignores_blank_lines_only() {
+        assert!(is_empty_trace(""));
+        assert!(is_empty_trace("\n\n  \n\t\n"));
+        assert!(!is_empty_trace(
+            "{\"kind\":\"experiment\",\"name\":\"t\"}\n"
+        ));
+        assert!(!is_empty_trace("\n\ngarbage\n"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Failover and recovery policies: what happens to a crashed node's
+//! streams, and how a rejoining node rebuilds its state.
+
+use crate::schedule::RejoinMode;
+
+/// What to do with the streams a crashed node was serving.
+///
+/// Every policy goes *through* the surviving nodes' own admission
+/// controllers — failover never bypasses Assumption 1, so the zero
+/// underflow guarantee holds under arbitrary fault schedules (the
+/// property test in `tests/` pins this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailoverPolicy {
+    /// Re-dispatch each interrupted stream (with its remaining viewing
+    /// time) to the least-loaded sibling replica that would accept it
+    /// now; park it in the cluster overflow FIFO when every sibling is
+    /// saturated; drop it only when no sibling holds the video at all.
+    Migrate,
+    /// Park every interrupted stream in the overflow FIFO and let the
+    /// normal retry path re-admit it when capacity (or the crashed node)
+    /// comes back. Trades latency for load: no surviving node takes a
+    /// thundering herd at crash time.
+    Park,
+    /// Drop every interrupted stream. The lower bound for availability
+    /// and the upper bound for surviving-stream quality — the control
+    /// arm the other two policies are measured against.
+    Drop,
+}
+
+impl FailoverPolicy {
+    /// All policies, in bench-matrix order.
+    pub const ALL: [FailoverPolicy; 3] = [
+        FailoverPolicy::Migrate,
+        FailoverPolicy::Park,
+        FailoverPolicy::Drop,
+    ];
+
+    /// Stable label for reports and bench cells.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailoverPolicy::Migrate => "migrate",
+            FailoverPolicy::Park => "park",
+            FailoverPolicy::Drop => "drop",
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+/// How a node that rejoins without an explicit per-fault mode rebuilds
+/// its `BS_k` size tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Warm standby: the shared table cache still holds the tables.
+    Warm,
+    /// Cold restart: tables rebuild from scratch before admitting.
+    Cold,
+}
+
+impl RecoveryPolicy {
+    /// All policies, in bench-matrix order.
+    pub const ALL: [RecoveryPolicy; 2] = [RecoveryPolicy::Warm, RecoveryPolicy::Cold];
+
+    /// Stable label for reports and bench cells.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Warm => "warm",
+            RecoveryPolicy::Cold => "cold",
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// The rejoin mode this policy implies when the fault leaves it
+    /// unspecified.
+    #[must_use]
+    pub fn rejoin_mode(&self) -> RejoinMode {
+        match self {
+            RecoveryPolicy::Warm => RejoinMode::Warm,
+            RecoveryPolicy::Cold => RejoinMode::Cold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for p in FailoverPolicy::ALL {
+            assert_eq!(FailoverPolicy::from_label(p.label()), Some(p));
+        }
+        for p in RecoveryPolicy::ALL {
+            assert_eq!(RecoveryPolicy::from_label(p.label()), Some(p));
+        }
+        assert_eq!(FailoverPolicy::from_label("teleport"), None);
+        assert_eq!(RecoveryPolicy::from_label("lukewarm"), None);
+    }
+}

@@ -1,0 +1,311 @@
+//! Fault schedules: typed faults pinned to (instant, node), built from a
+//! seed, a script, or an explicit event list.
+//!
+//! A schedule is data, not behaviour — the [`crate::runner`] interprets
+//! it against a live cluster. Keeping the two apart means a schedule can
+//! be printed, diffed, committed next to a bench baseline, and replayed
+//! bit-identically on any machine.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vod_types::{Instant, Seconds};
+
+/// How a rejoining node rebuilds its buffer-size tables (the paper's
+/// precomputed `BS_k` tables, `SizeTable` here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejoinMode {
+    /// Reuse the process-wide shared table cache
+    /// ([`vod_core::SizeTable::shared`]) — a warm standby that kept its
+    /// precomputed state.
+    Warm,
+    /// Rebuild the tables from scratch ([`vod_core::SizeTable::build`])
+    /// — a cold restart that lost them. The rebuilt table is
+    /// bit-identical (it is a pure function of the system parameters);
+    /// only the cost differs, which is exactly the paper's point about
+    /// precomputing `BS_k` offline.
+    Cold,
+}
+
+/// One typed fault. Slow/pressure factors describe *severity*, and both
+/// map onto admission-side throttles — the engine's service loop is
+/// untouched, because under the paper's model a slower disk is
+/// equivalent to a smaller stream capacity `N` (§3: the admission bound
+/// `min(min_i(n_i + k_i), N)` is where disk speed enters), and
+/// tightening admission can never cause an underflow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The node halts: every active stream and queued request is evicted
+    /// and the node is excluded from routing until it rejoins.
+    NodeCrash,
+    /// The node's disk slows by `factor` (≥ 1; 2.0 = half speed). Its
+    /// effective stream capacity shrinks to `N / factor`.
+    NodeSlow {
+        /// Slowdown multiple (≥ 1.0).
+        factor: f64,
+    },
+    /// `fraction` of the node's memory budget (in `[0, 1]`) is withheld
+    /// from the buffer pool — a co-tenant grabbing RAM.
+    MemoryPressure {
+        /// Fraction of the budget withheld.
+        fraction: f64,
+    },
+    /// The node returns to service: routing re-includes it, throttles
+    /// clear, and parked requests get a re-admission pass.
+    NodeRejoin {
+        /// `None` defers to the run's [`crate::RecoveryPolicy`].
+        mode: Option<RejoinMode>,
+    },
+}
+
+impl Fault {
+    /// Stable label for events, metrics, and scripts.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::NodeCrash => "crash",
+            Fault::NodeSlow { .. } => "slow",
+            Fault::MemoryPressure { .. } => "pressure",
+            Fault::NodeRejoin { .. } => "rejoin",
+        }
+    }
+}
+
+/// One scheduled fault: what happens to which node, when.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated instant the fault fires (applied before any arrival at
+    /// the same instant).
+    pub at: Instant,
+    /// Target node index.
+    pub node: usize,
+    /// The fault itself.
+    pub fault: Fault,
+}
+
+/// A time-sorted fault schedule. The empty schedule is the identity:
+/// running it leaves the cluster byte-identical to a plain run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule (no faults; bit-identical to no chaos at all).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// Builds a schedule from explicit events, stable-sorting by
+    /// `(at, node)` so same-instant faults on different nodes apply in
+    /// node order and same-cell faults keep their authored order.
+    #[must_use]
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| {
+            a.at.as_secs_f64()
+                .total_cmp(&b.at.as_secs_f64())
+                .then(a.node.cmp(&b.node))
+        });
+        Self { events }
+    }
+
+    /// Parses a fault script. One fault per line:
+    ///
+    /// ```text
+    /// <t_secs> <node> crash
+    /// <t_secs> <node> slow:<factor>
+    /// <t_secs> <node> pressure:<fraction>
+    /// <t_secs> <node> rejoin[:warm|:cold]
+    /// ```
+    ///
+    /// Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `line N: reason` message for the first malformed line.
+    pub fn from_script(src: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: &str| format!("line {}: {reason}", idx + 1);
+            let mut fields = line.split_whitespace();
+            let (Some(t), Some(node), Some(kind), None) =
+                (fields.next(), fields.next(), fields.next(), fields.next())
+            else {
+                return Err(err("expected `<t_secs> <node> <fault>`"));
+            };
+            let t: f64 = t.parse().map_err(|_| err("bad time"))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(err("time must be finite and non-negative"));
+            }
+            let node: usize = node.parse().map_err(|_| err("bad node index"))?;
+            let fault = match kind.split_once(':') {
+                None if kind == "crash" => Fault::NodeCrash,
+                None if kind == "rejoin" => Fault::NodeRejoin { mode: None },
+                Some(("slow", f)) => {
+                    let factor: f64 = f.parse().map_err(|_| err("bad slow factor"))?;
+                    if !(factor >= 1.0 && factor.is_finite()) {
+                        return Err(err("slow factor must be >= 1"));
+                    }
+                    Fault::NodeSlow { factor }
+                }
+                Some(("pressure", f)) => {
+                    let fraction: f64 = f.parse().map_err(|_| err("bad pressure fraction"))?;
+                    if !(0.0..=1.0).contains(&fraction) {
+                        return Err(err("pressure fraction must be in [0, 1]"));
+                    }
+                    Fault::MemoryPressure { fraction }
+                }
+                Some(("rejoin", "warm")) => Fault::NodeRejoin {
+                    mode: Some(RejoinMode::Warm),
+                },
+                Some(("rejoin", "cold")) => Fault::NodeRejoin {
+                    mode: Some(RejoinMode::Cold),
+                },
+                _ => return Err(err(
+                    "unknown fault (want crash | slow:<f> | pressure:<f> | rejoin[:warm|:cold])",
+                )),
+            };
+            events.push(FaultEvent {
+                at: Instant::from_secs(t),
+                node,
+                fault,
+            });
+        }
+        Ok(Self::from_events(events))
+    }
+
+    /// Generates a random-but-reproducible schedule: a pure function of
+    /// `(seed, nodes, horizon)`. Each episode strikes one node with one
+    /// fault in the first 60% of the horizon and rejoins it later, so
+    /// seeded runs always exercise both failover *and* recovery.
+    #[must_use]
+    pub fn from_seed(seed: u64, nodes: usize, horizon: Seconds) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let h = horizon.as_secs_f64();
+        let episodes = 1 + nodes / 2;
+        let mut events = Vec::with_capacity(episodes * 2);
+        for _ in 0..episodes {
+            let node = rng.gen_range(0..nodes);
+            let start = h * rng.gen_range(0.10..0.60);
+            let heal = start + h * rng.gen_range(0.10..0.30);
+            let fault = match rng.gen_range(0..3u64) {
+                0 => Fault::NodeCrash,
+                1 => Fault::NodeSlow {
+                    factor: rng.gen_range(1.5..6.0),
+                },
+                _ => Fault::MemoryPressure {
+                    fraction: rng.gen_range(0.2..0.8),
+                },
+            };
+            events.push(FaultEvent {
+                at: Instant::from_secs(start),
+                node,
+                fault,
+            });
+            events.push(FaultEvent {
+                at: Instant::from_secs(heal),
+                node,
+                fault: Fault::NodeRejoin { mode: None },
+            });
+        }
+        Self::from_events(events)
+    }
+
+    /// True when the schedule carries no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events, time-sorted.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Largest node index referenced, if any (for validation against a
+    /// cluster's node count).
+    #[must_use]
+    pub fn max_node(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.node).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_round_trips_every_fault_kind() {
+        let s = FaultSchedule::from_script(
+            "# chaos script\n\
+             10 0 crash\n\
+             20 1 slow:4\n\
+             30 0 rejoin:cold\n\
+             40 1 rejoin:warm\n\
+             5 1 pressure:0.5\n\
+             \n\
+             50 0 rejoin\n",
+        )
+        .expect("valid script");
+        assert_eq!(s.len(), 6);
+        // Sorted by time despite authored order.
+        assert_eq!(s.events()[0].at, Instant::from_secs(5.0));
+        assert_eq!(s.events()[0].fault, Fault::MemoryPressure { fraction: 0.5 });
+        assert_eq!(s.events()[1].fault, Fault::NodeCrash);
+        assert_eq!(s.events()[5].fault, Fault::NodeRejoin { mode: None },);
+        assert_eq!(s.max_node(), Some(1));
+    }
+
+    #[test]
+    fn script_errors_name_the_line() {
+        for (src, needle) in [
+            ("10 0", "line 1"),
+            ("x 0 crash", "bad time"),
+            ("10 0 slow:0.5", "slow factor"),
+            ("10 0 pressure:1.5", "pressure fraction"),
+            ("10 0 melt", "unknown fault"),
+            ("10 0 crash extra", "expected"),
+            ("-1 0 crash", "non-negative"),
+        ] {
+            let err = FaultSchedule::from_script(src).unwrap_err();
+            assert!(err.contains(needle), "{src:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible_and_heal() {
+        let a = FaultSchedule::from_seed(42, 4, Seconds::from_hours(2.0));
+        let b = FaultSchedule::from_seed(42, 4, Seconds::from_hours(2.0));
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty());
+        // Every episode pairs a strike with a rejoin.
+        let rejoins = a
+            .events()
+            .iter()
+            .filter(|e| matches!(e.fault, Fault::NodeRejoin { .. }))
+            .count();
+        assert_eq!(rejoins * 2, a.len());
+        let c = FaultSchedule::from_seed(43, 4, Seconds::from_hours(2.0));
+        assert_ne!(a.events(), c.events());
+        // Sorted by time.
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(FaultSchedule::empty().is_empty());
+        assert_eq!(FaultSchedule::empty().max_node(), None);
+        assert_eq!(FaultSchedule::default().len(), 0);
+    }
+}

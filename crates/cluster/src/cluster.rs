@@ -33,7 +33,7 @@ use vod_obs::span::{
 };
 use vod_obs::timeseries::{cluster_series, Series, SeriesRecorder};
 use vod_obs::Obs;
-use vod_sim::{evaluate_audits, DiskEngine, EngineConfig};
+use vod_sim::{evaluate_audits, DiskEngine, EngineConfig, EvictedStream};
 use vod_types::{ConfigError, Instant};
 use vod_workload::{Arrival, Zipf};
 
@@ -74,6 +74,11 @@ struct Node {
     offered_times: Vec<Instant>,
     /// Front-end series handles (load, redirections), when attached.
     series: Option<NodeFrontSeries>,
+    /// Chaos flag: a crashed node is excluded from every routing
+    /// decision (dispatch scan, overflow retry, flush) until it
+    /// rejoins. Always `false` without an active fault schedule, so the
+    /// healthy path takes bit-identical branches.
+    down: bool,
 }
 
 /// Per-node front-end time-series handles (the node engine's own cycle
@@ -150,6 +155,7 @@ impl Cluster {
                 redirected_out: 0,
                 offered_times: Vec::new(),
                 series: None,
+                down: false,
             });
         }
         let rng = SmallRng::seed_from_u64(cfg.seed);
@@ -267,18 +273,44 @@ impl Cluster {
             "arrival trace must be time-sorted"
         );
         for a in arrivals {
-            // Fixed round order: every node catches up to the arrival
-            // instant before any routing decision reads its state.
-            for node in &mut self.nodes {
-                node.engine.advance_to(a.at);
-            }
-            self.retry_overflow_queue(a.at);
-            self.dispatch(a);
-            self.sample_imbalance(a.at);
+            self.advance_nodes_to(a.at);
+            self.step_arrival(a);
         }
-        // End of trace: park nothing forever — hand stragglers to their
-        // least-loaded candidate and let that node's own admission queue
-        // own the wait (single-node deferral semantics take over).
+        self.finish_run(jobs)
+    }
+
+    // ---------- steppable front-end API ----------
+    //
+    // `run_with_jobs` is literally these three calls in a loop, so an
+    // external driver (the chaos runner) interleaving fault injections
+    // between them reduces *exactly* to the plain run when its schedule
+    // is empty — the empty-schedule identity is structural, not tested
+    // into existence.
+
+    /// Advances every node engine to `at` in fixed index order, so every
+    /// routing decision reads caught-up state. Crashed nodes advance too
+    /// (their empty engines just move the clock), keeping the round
+    /// order identical with and without faults.
+    pub fn advance_nodes_to(&mut self, at: Instant) {
+        for node in &mut self.nodes {
+            node.engine.advance_to(at);
+        }
+    }
+
+    /// The per-arrival front-end step: overflow retry (strict FIFO),
+    /// dispatch, and the imbalance sample. The caller must have advanced
+    /// the nodes to `a.at` first (see [`Self::advance_nodes_to`]).
+    pub fn step_arrival(&mut self, a: &Arrival) {
+        self.retry_overflow_queue(a.at);
+        self.dispatch(a);
+        self.sample_imbalance(a.at);
+    }
+
+    /// End of trace: park nothing forever — hand stragglers to their
+    /// least-loaded candidate and let that node's own admission queue
+    /// own the wait — then drain every node and assemble the report.
+    #[must_use]
+    pub fn finish_run(mut self, jobs: usize) -> ClusterReport {
         self.flush_overflow_queue();
         self.finish(jobs)
     }
@@ -303,6 +335,12 @@ impl Cluster {
         );
         if replicas.len() == 1 {
             let ni = replicas[0];
+            if self.nodes[ni].down {
+                // The only replica is crashed: park until it rejoins
+                // (or the end-of-trace flush / chaos drop sweep).
+                self.park(a, vec![ni], trace);
+                return;
+            }
             self.trace_dispatch(a.at, trace, ni);
             self.offer_to(ni, a, trace);
             return;
@@ -310,7 +348,7 @@ impl Cluster {
         let order = self.preference_order(&replicas, a.at);
         let primary = order[0];
         for (rank, &ni) in order.iter().enumerate() {
-            if self.nodes[ni].engine.would_accept(a.at) {
+            if !self.nodes[ni].down && self.nodes[ni].engine.would_accept(a.at) {
                 self.trace_dispatch(a.at, trace, ni);
                 if rank > 0 {
                     self.redirected += 1;
@@ -324,6 +362,13 @@ impl Cluster {
         }
         // Every replica would defer or reject: queue cluster-wide and
         // retry at the next dispatch instant.
+        self.park(a, order, trace);
+    }
+
+    /// Parks one arrival cluster-wide with its candidate preference
+    /// order, emitting the `Parked` dispatch span (an anomaly trigger
+    /// for the flight recorder).
+    fn park(&mut self, a: &Arrival, candidates: Vec<usize>, trace: TraceId) {
         self.overflow_queued += 1;
         if self.obs.tracing() {
             let sp = SpanId::derive(trace, SEQ_DISPATCH);
@@ -334,14 +379,13 @@ impl Cluster {
                 trace,
                 sp,
                 "candidates",
-                AnnoValue::U64(order.len() as u64),
+                AnnoValue::U64(candidates.len() as u64),
             );
-            // `Parked` is an anomaly trigger for the flight recorder.
             self.obs.span_end(a.at, trace, sp, SpanStatus::Parked);
         }
         self.queue.push_back(Parked {
             arrival: *a,
-            candidates: order,
+            candidates,
             trace,
         });
     }
@@ -425,7 +469,7 @@ impl Cluster {
                 .candidates
                 .iter()
                 .copied()
-                .find(|&ni| self.nodes[ni].engine.would_accept(now))
+                .find(|&ni| !self.nodes[ni].down && self.nodes[ni].engine.would_accept(now))
             else {
                 return;
             };
@@ -459,11 +503,24 @@ impl Cluster {
     /// unconditionally (end of trace: no further retry instants exist).
     fn flush_overflow_queue(&mut self) {
         while let Some(parked) = self.queue.pop_front() {
+            // Crashed candidates are skipped; the chaos runner sweeps
+            // all-candidates-down entries out before finishing, and with
+            // no faults the filter keeps every candidate, so the healthy
+            // path is unchanged. The unfiltered fallback only guards an
+            // external driver that forgot the sweep.
             let target = parked
                 .candidates
                 .iter()
                 .copied()
+                .filter(|&ni| !self.nodes[ni].down)
                 .min_by_key(|&ni| (self.nodes[ni].engine.offered(), ni))
+                .or_else(|| {
+                    parked
+                        .candidates
+                        .iter()
+                        .copied()
+                        .min_by_key(|&ni| (self.nodes[ni].engine.offered(), ni))
+                })
                 .expect("replica candidates are non-empty");
             if self.obs.tracing() {
                 // A flush is not a counted redirect (no hop span): the
@@ -481,6 +538,115 @@ impl Cluster {
             }
             self.offer_to(target, &parked.arrival, parked.trace);
         }
+    }
+
+    // ---------- chaos hooks ----------
+    //
+    // Everything below is driven by `vod-chaos`; none of it runs (and
+    // `down` never flips) without an active fault schedule.
+
+    /// Number of nodes in the cluster.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A handle to the observer every node emits into — the chaos runner
+    /// emits its fault/failover events and spans through the same sink.
+    #[must_use]
+    pub fn observer(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// The configured run seed (trace ids for chaos-minted failover
+    /// traces derive from it under their own scope salt).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// True while node `ni` is crashed (excluded from routing).
+    #[must_use]
+    pub fn is_down(&self, ni: usize) -> bool {
+        self.nodes[ni].down
+    }
+
+    /// The replica set placement assigned to `video` (primary first).
+    #[must_use]
+    pub fn replicas_of(&self, video: vod_types::VideoId) -> &[usize] {
+        self.placement.replicas_of(video)
+    }
+
+    /// Total load (in-service + queued) offered to node `ni` — what a
+    /// failover policy ranks siblings by.
+    #[must_use]
+    pub fn node_offered(&self, ni: usize) -> usize {
+        self.nodes[ni].engine.offered()
+    }
+
+    /// Pre-flight for failover routing: is `ni` up *and* would it accept
+    /// an arrival at `now` under its admission rules (Assumption 1
+    /// included)?
+    pub fn node_would_accept(&mut self, ni: usize, now: Instant) -> bool {
+        !self.nodes[ni].down && self.nodes[ni].engine.would_accept(now)
+    }
+
+    /// Crashes node `ni`: evicts every active stream and queued request
+    /// from its engine (see [`DiskEngine::evict_all`]) and marks it
+    /// down. The caller owns what happens to the evicted streams.
+    pub fn crash_node(&mut self, ni: usize) -> Vec<EvictedStream> {
+        self.nodes[ni].down = true;
+        self.nodes[ni].engine.evict_all()
+    }
+
+    /// Throttles node `ni`'s admission capacity and memory budget (both
+    /// factors in `[0, 1]`; `1.0` = healthy). See
+    /// [`DiskEngine::set_capacity_factor`] / [`DiskEngine::set_memory_factor`].
+    pub fn throttle_node(&mut self, ni: usize, capacity: f64, memory: f64) {
+        self.nodes[ni].engine.set_capacity_factor(capacity);
+        self.nodes[ni].engine.set_memory_factor(memory);
+    }
+
+    /// Rejoins node `ni`: marks it up and clears any throttles. The
+    /// caller re-admits parked streams via [`Self::retry_parked`].
+    pub fn rejoin_node(&mut self, ni: usize) {
+        self.nodes[ni].down = false;
+        self.nodes[ni].engine.set_capacity_factor(1.0);
+        self.nodes[ni].engine.set_memory_factor(1.0);
+    }
+
+    /// Retries the overflow queue at `now` outside an arrival step — the
+    /// re-admission pass a rejoin triggers. Strict FIFO, like every
+    /// retry.
+    pub fn retry_parked(&mut self, now: Instant) {
+        self.retry_overflow_queue(now);
+    }
+
+    /// Offers one migrated stream to node `ni`, with the same per-node
+    /// accounting as a dispatched arrival (node dispatch count, offered
+    /// times, series). Does *not* advance the cluster-wide `dispatched`
+    /// counter — migrants are re-placements, not new front-end arrivals.
+    pub fn offer_migrant(&mut self, ni: usize, a: &Arrival, trace: TraceId) {
+        self.offer_to(ni, a, trace);
+    }
+
+    /// Parks one migrated stream cluster-wide with an explicit candidate
+    /// order (sibling replicas of the crashed node). It re-enters
+    /// service through the normal overflow retry path.
+    pub fn park_migrant(&mut self, a: &Arrival, candidates: Vec<usize>, trace: TraceId) {
+        self.park(a, candidates, trace);
+    }
+
+    /// Sweeps parked entries whose every candidate is down (they cannot
+    /// be flushed anywhere at end of run) and returns how many were
+    /// dropped. The chaos runner calls this before [`Self::finish_run`]
+    /// and accounts the drops; with no faults it is a no-op.
+    pub fn drop_unplaceable_parked(&mut self) -> u64 {
+        let before = self.queue.len();
+        let nodes = &self.nodes;
+        self.queue
+            .retain(|p| p.candidates.iter().any(|&ni| !nodes[ni].down));
+        (before - self.queue.len()) as u64
     }
 
     /// Drains every node engine and assembles the report, then writes

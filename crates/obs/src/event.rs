@@ -67,11 +67,15 @@ pub enum EventKind {
     SpanAnnotate,
     /// A lifecycle span closed.
     SpanEnd,
+    /// A chaos fault was injected into a cluster node.
+    FaultInjected,
+    /// A cluster node recovered (rejoined) after a fault.
+    NodeRecovered,
 }
 
 impl EventKind {
     /// Number of distinct kinds.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// Every kind, in index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -89,6 +93,8 @@ impl EventKind {
         EventKind::SpanStart,
         EventKind::SpanAnnotate,
         EventKind::SpanEnd,
+        EventKind::FaultInjected,
+        EventKind::NodeRecovered,
     ];
 
     /// Dense index (0-based, stable within a release).
@@ -109,6 +115,8 @@ impl EventKind {
             EventKind::SpanStart => 11,
             EventKind::SpanAnnotate => 12,
             EventKind::SpanEnd => 13,
+            EventKind::FaultInjected => 14,
+            EventKind::NodeRecovered => 15,
         }
     }
 
@@ -139,6 +147,8 @@ impl EventKind {
             EventKind::SpanStart => "span_start",
             EventKind::SpanAnnotate => "span_annotate",
             EventKind::SpanEnd => "span_end",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::NodeRecovered => "node_recovered",
         }
     }
 }
@@ -317,6 +327,25 @@ pub enum Event {
         /// How the span ended.
         status: SpanStatus,
     },
+    /// A chaos fault was injected into a cluster node.
+    FaultInjected {
+        /// Injection time (simulated).
+        at: Instant,
+        /// The faulted node's index.
+        node: usize,
+        /// Stable fault label (`crash`, `slow`, `pressure`, `rejoin`).
+        fault: &'static str,
+    },
+    /// A cluster node recovered (rejoined) after a fault.
+    NodeRecovered {
+        /// Recovery time (simulated).
+        at: Instant,
+        /// The recovered node's index.
+        node: usize,
+        /// True when the rejoin reused the shared `BS_k` table (warm);
+        /// false when it paid a cold rebuild.
+        warm: bool,
+    },
 }
 
 impl Event {
@@ -338,6 +367,8 @@ impl Event {
             Event::SpanStart { .. } => EventKind::SpanStart,
             Event::SpanAnnotate { .. } => EventKind::SpanAnnotate,
             Event::SpanEnd { .. } => EventKind::SpanEnd,
+            Event::FaultInjected { .. } => EventKind::FaultInjected,
+            Event::NodeRecovered { .. } => EventKind::NodeRecovered,
         }
     }
 
@@ -358,7 +389,9 @@ impl Event {
             | Event::PoolOccupancy { at, .. }
             | Event::SpanStart { at, .. }
             | Event::SpanAnnotate { at, .. }
-            | Event::SpanEnd { at, .. } => at,
+            | Event::SpanEnd { at, .. }
+            | Event::FaultInjected { at, .. }
+            | Event::NodeRecovered { at, .. } => at,
         }
     }
 
@@ -510,6 +543,14 @@ impl Event {
                 o.str("trace", &trace.hex());
                 o.str("span", &span.hex());
                 o.str("status", status.label());
+            }
+            Event::FaultInjected { node, fault, .. } => {
+                o.uint("node", node as u64);
+                o.str("fault", fault);
+            }
+            Event::NodeRecovered { node, warm, .. } => {
+                o.uint("node", node as u64);
+                o.bool("warm", warm);
             }
         }
         o.finish()

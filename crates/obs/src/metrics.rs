@@ -86,6 +86,15 @@ pub const GAUGE_CLUSTER_IMBALANCE: &str = "vod_cluster_imbalance_ratio";
 /// Gauge: aggregate peak buffer memory across nodes, in bits.
 pub const GAUGE_CLUSTER_MEM_PEAK: &str = "vod_cluster_mem_peak_bits";
 
+/// Counter: chaos faults injected into cluster nodes.
+pub const CTR_FAULTS_INJECTED: &str = "vod_faults_injected_total";
+/// Counter: streams migrated to a sibling replica after a node crash.
+pub const CTR_FAILOVERS: &str = "vod_failovers_total";
+/// Counter: streams dropped because no replica could take them.
+pub const CTR_STREAMS_DROPPED: &str = "vod_streams_dropped_total";
+/// Counter: node recoveries (rejoins) completed.
+pub const CTR_RECOVERIES: &str = "vod_recoveries_total";
+
 /// Per-node metric name: `vod_cluster_node<i>_<suffix>`. The node index
 /// is embedded in the name (not a label) so the registry's flat
 /// `BTreeMap` namespace and the Prometheus renderer need no label

@@ -25,6 +25,7 @@
 //! | `SEQ_RETRY`          | overflow-queue retry / final flush      |
 //! | `SEQ_HOP_DISPATCH`   | redirection hop taken at dispatch       |
 //! | `SEQ_HOP_RETRY`      | redirection hop taken at retry          |
+//! | `SEQ_FAILOVER`       | failover migration of an evicted stream |
 //!
 //! The cluster salts live above `1 << 62`, far beyond any realistic
 //! service count, so the two spaces cannot overlap.
@@ -60,6 +61,8 @@ pub const SEQ_RETRY: u64 = (1 << 62) | 1;
 pub const SEQ_HOP_DISPATCH: u64 = (1 << 62) | 2;
 /// Salt for a redirection hop taken when an overflow retry lands.
 pub const SEQ_HOP_RETRY: u64 = (1 << 62) | 3;
+/// Salt for a failover span (a stream migrated off a crashed node).
+pub const SEQ_FAILOVER: u64 = (1 << 62) | 4;
 
 /// Identifies one request's journey end to end (across cluster hops).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -164,17 +167,20 @@ pub enum SpanKind {
     Dispatch,
     /// One redirection hop between cluster nodes.
     Hop,
+    /// A failover migration of one stream off a crashed node.
+    Failover,
 }
 
 impl SpanKind {
     /// Every kind, in a stable order.
-    pub const ALL: [SpanKind; 6] = [
+    pub const ALL: [SpanKind; 7] = [
         SpanKind::Request,
         SpanKind::Admission,
         SpanKind::Service,
         SpanKind::Cycle,
         SpanKind::Dispatch,
         SpanKind::Hop,
+        SpanKind::Failover,
     ];
 
     /// Stable snake_case label (the `span_kind` field in JSONL).
@@ -187,6 +193,7 @@ impl SpanKind {
             SpanKind::Cycle => "cycle",
             SpanKind::Dispatch => "dispatch",
             SpanKind::Hop => "hop",
+            SpanKind::Failover => "failover",
         }
     }
 
@@ -418,13 +425,14 @@ mod tests {
             SEQ_RETRY,
             SEQ_HOP_DISPATCH,
             SEQ_HOP_RETRY,
+            SEQ_FAILOVER,
         ]
         .iter()
         .map(|&s| SpanId::derive(t, s).raw())
         .collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 8, "seq salts must not collide");
+        assert_eq!(ids.len(), 9, "seq salts must not collide");
     }
 
     #[test]

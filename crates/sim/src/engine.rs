@@ -311,6 +311,36 @@ pub struct DiskEngine {
     /// Cycle-boundary time-series handles; `None` (the default) skips
     /// sampling entirely.
     series: Option<EngineSeries>,
+    /// Chaos throttle on the effective stream bound: admission treats the
+    /// disk bound as `max(1, ⌊capacity_factor·N⌋)`. `1.0` (the default)
+    /// is the healthy path — every throttle site is gated on `< 1.0`, so
+    /// an unthrottled run takes bit-identical branches to a build without
+    /// the hook. A slower disk is exactly a smaller service capacity `N`,
+    /// so tightening admission models `NodeSlow` without ever risking an
+    /// Assumption-1 underflow.
+    capacity_factor: f64,
+    /// Chaos throttle on the memory budget: admission's reservation check
+    /// compares against `memory_factor × budget`. `1.0` = healthy (same
+    /// gating discipline as `capacity_factor`); no-op when the config has
+    /// no budget.
+    memory_factor: f64,
+}
+
+/// One stream (active or queued) evicted from a crashed engine — what a
+/// cluster failover policy needs to re-dispatch it elsewhere.
+#[derive(Clone, Copy, Debug)]
+pub struct EvictedStream {
+    /// The video the stream was playing.
+    pub video: VideoId,
+    /// Viewing time left at the crash instant (full `viewing` for
+    /// requests that never started; may be zero for streams evicted at
+    /// their departure boundary).
+    pub viewing_left: Seconds,
+    /// The lifecycle trace the stream rode (its root span was closed
+    /// `Refused` at eviction; a migration mints a fresh trace).
+    pub trace: TraceId,
+    /// True for in-service streams, false for queued requests.
+    pub was_active: bool,
 }
 
 /// Scope salt separating the engine's cycle-span trace from request
@@ -405,6 +435,8 @@ impl DiskEngine {
             cycle_seq: 0,
             trace_per_cycle: true,
             series: None,
+            capacity_factor: 1.0,
+            memory_factor: 1.0,
         }
         .with_default_trace_scope())
     }
@@ -789,11 +821,45 @@ impl DiskEngine {
     /// the controller's min-aggregate cursor; nothing is perturbed.)
     pub fn admission_headroom(&mut self) -> usize {
         let offered = self.streams.len() + self.pending.len();
+        let eff = self.effective_max_requests();
         let bound = match &mut self.scheme {
-            SchemeState::Dynamic(ctl) => ctl.admission_bound(),
-            SchemeState::Static | SchemeState::Naive(_) => self.cfg.params.max_requests(),
+            SchemeState::Dynamic(ctl) => ctl.admission_bound().min(eff),
+            SchemeState::Static | SchemeState::Naive(_) => eff,
         };
         bound.saturating_sub(offered)
+    }
+
+    /// The disk-stream bound admission enforces: `N`, throttled to
+    /// `max(1, ⌊capacity_factor·N⌋)` while a `NodeSlow` fault is active.
+    /// Scheduling (cycle planning, buffer sizing) keeps using the true
+    /// `N` — only *admission* tightens, which can never cause an
+    /// underflow.
+    fn effective_max_requests(&self) -> usize {
+        let n = self.cfg.params.max_requests();
+        if self.capacity_factor < 1.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let throttled = (n as f64 * self.capacity_factor).floor() as usize;
+            throttled.max(1)
+        } else {
+            n
+        }
+    }
+
+    /// Chaos hook: throttles this node's effective stream bound to
+    /// `factor × N` (clamped to `[0, 1]`; `1.0` restores full capacity).
+    /// Deterministic and admission-only — see [`Self::effective_max_requests`].
+    pub fn set_capacity_factor(&mut self, factor: f64) {
+        self.capacity_factor = factor.clamp(0.0, 1.0);
+    }
+
+    /// Chaos hook: scales the memory budget seen by admission's
+    /// reservation check to `factor × budget` (clamped to `[0, 1]`;
+    /// `1.0` restores the full budget). No-op when the engine has no
+    /// memory budget configured. Existing streams keep their buffers —
+    /// pressure only refuses *new* reservations, exactly like a shrunk
+    /// budget at arrival time.
+    pub fn set_memory_factor(&mut self, factor: f64) {
+        self.memory_factor = factor.clamp(0.0, 1.0);
     }
 
     /// The reservation-model memory this node would need with
@@ -812,7 +878,7 @@ impl DiskEngine {
         let offered = self.streams.len() + self.pending.len();
         let needed = self.reservation_memory(offered + 1, now).as_f64();
         match self.cfg.memory_budget {
-            Some(budget) => budget.as_f64() - needed,
+            Some(budget) => self.throttled_budget(budget).as_f64() - needed,
             None => -needed,
         }
     }
@@ -823,7 +889,7 @@ impl DiskEngine {
     /// overflow redirection to a sibling replica.
     pub fn would_accept(&mut self, now: Instant) -> bool {
         let offered = self.streams.len() + self.pending.len();
-        offered < self.cfg.params.max_requests()
+        offered < self.effective_max_requests()
             && self.admission_headroom() > 0
             && self.memory_admits(offered + 1, now)
     }
@@ -897,6 +963,106 @@ impl DiskEngine {
         self.finalize()
     }
 
+    /// Chaos hook: a node crash. Evicts every active stream (in the
+    /// deterministic admission-ring order) and every queued request
+    /// (FIFO), closing their lifecycle spans `Refused` with an
+    /// `"evicted"` annotation, and returns descriptors a failover policy
+    /// can re-dispatch. Departed-stream bookkeeping follows the normal
+    /// departure path — memory released, concurrency decremented, the
+    /// controller notified — so the run stays internally consistent; the
+    /// evictions are *not* counted as departures-with-service or as
+    /// rejections (chaos accounting owns those outcomes). The engine
+    /// survives empty: it can be advanced, rejoined, and offered new
+    /// arrivals, with its estimator log and cumulative stats intact.
+    pub fn evict_all(&mut self) -> Vec<EvictedStream> {
+        let at = self.t;
+        let cr = self.cfg.params.cr();
+        // The in-flight cycle dies with the node.
+        if let Some((tr, sp)) = self.cycle_span.take() {
+            self.obs.span_end(at, tr, sp, SpanStatus::Ok);
+        }
+        self.cycle_active = false;
+        self.cycle_services = 0;
+        self.cycle_insertions_left = usize::MAX;
+        self.order.clear();
+        self.cursor = 0;
+        let mut out = Vec::with_capacity(self.streams.len() + self.pending.len());
+        let ring = std::mem::take(&mut self.base_order);
+        for slot in ring {
+            let Some(mut s) = self.streams.remove(slot) else {
+                continue; // stale ring entry (stream already departed)
+            };
+            let id = s.id;
+            let started = s.viewing_started();
+            let old_time = s.level_at_time();
+            let upd = s.advance_to(at, cr);
+            if started {
+                self.mem
+                    .on_materialize(old_time, s.level_at_time(), upd.consumed);
+            }
+            self.note_deficit(id, at, upd.deficit);
+            if started {
+                self.mem.on_depart(s.level(), s.level_at_time());
+            }
+            self.obs
+                .emit_with(EventKind::BufferFreed, || Event::BufferFreed {
+                    at,
+                    id,
+                    released: s.level(),
+                });
+            if self.obs.tracing() && !s.trace.is_none() {
+                let root = SpanId::derive(s.trace, span::SEQ_REQUEST);
+                self.obs
+                    .span_annotate(at, s.trace, root, "evicted", AnnoValue::Str("node_crash"));
+                self.obs.span_end(at, s.trace, root, SpanStatus::Refused);
+            }
+            self.conc_events.push((at, -1));
+            if let SchemeState::Dynamic(ctl) = &mut self.scheme {
+                let _ = ctl.depart(id);
+            }
+            let viewing_left = match s.first_data_at {
+                Some(first) => {
+                    let watched = at - first;
+                    if watched >= s.viewing {
+                        Seconds::ZERO
+                    } else {
+                        s.viewing - watched
+                    }
+                }
+                None => s.viewing,
+            };
+            out.push(EvictedStream {
+                video: s.video,
+                viewing_left,
+                trace: s.trace,
+                was_active: true,
+            });
+        }
+        while let Some(p) = self.pending.pop_front() {
+            if self.obs.tracing() && !p.trace.is_none() {
+                let root = SpanId::derive(p.trace, span::SEQ_REQUEST);
+                let adm = SpanId::derive(p.trace, span::SEQ_ADMISSION);
+                self.obs.span_end(at, p.trace, adm, SpanStatus::Refused);
+                self.obs
+                    .span_annotate(at, p.trace, root, "evicted", AnnoValue::Str("node_crash"));
+                self.obs.span_end(at, p.trace, root, SpanStatus::Refused);
+            }
+            out.push(EvictedStream {
+                video: p.video,
+                viewing_left: p.viewing,
+                trace: p.trace,
+                was_active: false,
+            });
+        }
+        // Every heap entry is now stale; drop them instead of letting
+        // lazy deletion sweep thousands of corpses one by one.
+        self.departures.clear();
+        self.due_heap.clear();
+        self.dl_memo = None;
+        self.period_memo = None;
+        out
+    }
+
     /// Lazily places a video on the sampled drive the first time any
     /// stream plays it (contiguous placement in id order, §2.1's layout).
     fn ensure_placed(disk: &mut Disk, video: VideoId, cr: vod_types::BitRate, length: Seconds) {
@@ -959,7 +1125,7 @@ impl DiskEngine {
         // plus the memory reservation when a budget is set). Queued
         // requests count: a request the disk can never absorb is rejected
         // now, not parked for an hour.
-        if n >= self.cfg.params.max_requests() {
+        if n >= self.effective_max_requests() {
             self.stats.rejected += 1;
             self.m.rejected.inc();
             self.obs
@@ -1022,7 +1188,17 @@ impl DiskEngine {
         let Some(budget) = self.cfg.memory_budget else {
             return true;
         };
+        let budget = self.throttled_budget(budget);
         self.reservation_memory(prospective_n, now) <= budget
+    }
+
+    /// The memory budget after any active `MemoryPressure` throttle.
+    fn throttled_budget(&self, budget: Bits) -> Bits {
+        if self.memory_factor < 1.0 {
+            budget * self.memory_factor
+        } else {
+            budget
+        }
     }
 
     /// The per-scheme reservation-model memory need at `prospective_n`
@@ -1070,7 +1246,7 @@ impl DiskEngine {
                 return;
             }
             let n = self.streams.len();
-            if n >= self.cfg.params.max_requests() {
+            if n >= self.effective_max_requests() {
                 return; // wait for departures (deferred, not rejected)
             }
             let admitted = match &mut self.scheme {

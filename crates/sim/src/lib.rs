@@ -48,7 +48,7 @@ pub mod stream;
 
 pub use audit::{evaluate_audits, AuditOutcome};
 pub use capacity::{CapacityConfig, CapacityResult, CapacitySim};
-pub use engine::{DiskEngine, EngineConfig};
+pub use engine::{DiskEngine, EngineConfig, EvictedStream};
 pub use metrics::{DiskRunStats, IlSample};
 pub use runner::{
     run_latency_experiment, run_latency_experiment_observed, run_multi_disk, LatencyExperiment,
