@@ -142,10 +142,12 @@ fn print_usage() {
     );
     eprintln!(
         "       repro chaos [--smoke] [--jobs <n>] [--seed <n>] [--script <file>] \
-         [--out <file>] [--trace <file.jsonl>] [--flight <file.jsonl>]"
+         [--nodes <n>] [--reseed-after <secs>] [--out <file>] [--check <baseline>] \
+         [--envelope-report <file.md>] [--trace <file.jsonl>] [--flight <file.jsonl>]"
     );
     eprintln!("       repro trace-analyze <file.jsonl> [--schema-only] [--top <k>]");
     eprintln!("       repro report <trace.jsonl> [--out <file.md>] [--series-csv <file.csv>]");
+    eprintln!("       repro report --chaos-delta <old.json> <new.json> [--out <file.md>]");
     eprintln!("       repro compare <old.json> <new.json> [--tolerance <x>]");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
@@ -157,7 +159,7 @@ fn print_usage() {
     );
     eprintln!(
         "  chaos    fault-injection matrix (scenario x failover x nodes) -> BENCH_chaos.json; \
-         --seed/--script run one ad-hoc episode"
+         --seed/--script run one ad-hoc episode; --check gates the degradation envelope"
     );
     eprintln!("  trace-analyze  span trees, latency breakdowns, invariant audit of a trace");
     eprintln!("  report   markdown run report (series timelines, latencies, audits) from a trace");
@@ -273,13 +275,27 @@ fn trace_analyze_main(args: &[String]) -> ExitCode {
 /// latency breakdowns, estimator audits, flight-dump cross-references)
 /// from a trace file. `--series-csv` additionally re-exports every
 /// embedded series as flat CSV.
+///
+/// `repro report --chaos-delta <old.json> <new.json> [--out <file.md>]`
+/// instead renders the degradation-envelope delta table between two
+/// chaos documents (exit 1 when the candidate leaves the envelope).
 fn report_main(args: &[String]) -> ExitCode {
     let mut file: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
+    let mut chaos_delta: Option<(PathBuf, PathBuf)> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--chaos-delta" => {
+                let (Some(o), Some(n)) = (iter.next(), iter.next()) else {
+                    eprintln!(
+                        "--chaos-delta requires two document arguments: <old.json> <new.json>"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                chaos_delta = Some((PathBuf::from(o), PathBuf::from(n)));
+            }
             "--out" => {
                 let Some(p) = iter.next() else {
                     eprintln!("--out requires a file argument");
@@ -303,6 +319,47 @@ fn report_main(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some((old_path, new_path)) = chaos_delta {
+        if file.is_some() || csv.is_some() {
+            eprintln!("--chaos-delta takes two chaos documents, not a trace file");
+            return ExitCode::FAILURE;
+        }
+        let mut docs = Vec::with_capacity(2);
+        for path in [&old_path, &new_path] {
+            match std::fs::read_to_string(path) {
+                Ok(s) => docs.push(s),
+                Err(e) => {
+                    eprintln!("error: could not read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let md = match report::render_envelope_delta(&docs[0], &docs[1]) {
+            Ok(md) => md,
+            Err(problems) => {
+                for p in problems {
+                    eprintln!("error: {p}");
+                }
+                return ExitCode::from(2);
+            }
+        };
+        let within = md.contains("within envelope");
+        match &out {
+            Some(out_path) => {
+                if let Err(e) = std::fs::write(out_path, &md) {
+                    eprintln!("error: could not write {}: {e}", out_path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[envelope delta -> {}]", out_path.display());
+            }
+            None => print!("{md}"),
+        }
+        return if within {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let Some(path) = file else {
         eprintln!("report requires a trace file argument");
@@ -776,27 +833,65 @@ fn cluster_main(args: &[String]) -> ExitCode {
 }
 
 /// `repro chaos [--smoke] [--jobs <n>] [--seed <n>] [--script <file>]
-/// [--out <file>] [--trace <file.jsonl>] [--flight <file.jsonl>]`:
+/// [--nodes <n>] [--reseed-after <secs>] [--out <file>] [--check <baseline.json>]
+/// [--envelope-report <file.md>] [--trace <file.jsonl>]
+/// [--flight <file.jsonl>]`:
 /// the fault-injection matrix (scenario × failover policy × nodes) over
 /// the pinned replicated cluster shape, writing `BENCH_chaos.json`.
 ///
+/// `--check <baseline>` gates the fresh run's degradation envelope
+/// (availability, drop/migrate/park/re-replicate split, time-to-
+/// recover) against a committed chaos document under the `ENVELOPE_*`
+/// tolerances instead of writing `--out`; `--envelope-report` saves the
+/// markdown delta table either way the gate goes.
+///
 /// `--seed <n>` / `--script <file>` switch to a single ad-hoc episode
-/// at 2 nodes instead of the matrix: the schedule comes from
+/// (`--nodes <n>`, default 2) instead of the matrix: the schedule comes
+/// from
 /// [`vod_chaos::FaultSchedule::from_seed`] or a fault-script file
-/// (`<t_secs> <node> crash|slow:<f>|pressure:<f>|rejoin[:warm|:cold]`
-/// per line), and the degradation summary prints to stdout.
+/// (`domain <name> <node>...` declarations, then
+/// `<t_secs> <node|@domain> crash|slow:<f>|pressure:<f>|degrade:<d>:<f>|`
+/// `error:<r>|rejoin[:warm|:cold]` per line), `--reseed-after <secs>`
+/// arms fault-triggered re-replication, and the degradation summary
+/// prints to stdout.
 fn chaos_main(args: &[String]) -> ExitCode {
     let mut mode = vod_bench::ChaosBenchMode::Full;
     let mut out = PathBuf::from("BENCH_chaos.json");
+    let mut check: Option<PathBuf> = None;
+    let mut envelope_report: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut flight_path: Option<PathBuf> = None;
     let mut seed: Option<u64> = None;
     let mut script: Option<PathBuf> = None;
+    let mut reseed_after: Option<f64> = None;
+    let mut adhoc_nodes = 2usize;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--smoke" => mode = vod_bench::ChaosBenchMode::Smoke,
+            "--check" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--check requires a baseline file argument");
+                    return ExitCode::FAILURE;
+                };
+                check = Some(PathBuf::from(p));
+            }
+            "--envelope-report" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("--envelope-report requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                envelope_report = Some(PathBuf::from(p));
+            }
+            "--reseed-after" => {
+                let parsed = iter.next().and_then(|v| v.parse::<f64>().ok());
+                let Some(s) = parsed.filter(|s| *s >= 0.0) else {
+                    eprintln!("--reseed-after requires a non-negative number of seconds");
+                    return ExitCode::FAILURE;
+                };
+                reseed_after = Some(s);
+            }
             "--seed" => {
                 let parsed = iter.next().and_then(|v| v.parse::<u64>().ok());
                 let Some(s) = parsed else {
@@ -804,6 +899,14 @@ fn chaos_main(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 seed = Some(s);
+            }
+            "--nodes" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n >= 1) else {
+                    eprintln!("--nodes requires a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                adhoc_nodes = n;
             }
             "--script" => {
                 let Some(p) = iter.next() else {
@@ -861,7 +964,7 @@ fn chaos_main(args: &[String]) -> ExitCode {
             eprintln!("--seed and --script are mutually exclusive");
             return ExitCode::FAILURE;
         }
-        let nodes = 2usize;
+        let nodes = adhoc_nodes;
         let horizon =
             vod_types::Seconds::from_hours(vod_bench::ChaosBenchMode::Smoke.horizon_hours());
         let schedule = if let Some(path) = &script {
@@ -891,6 +994,7 @@ fn chaos_main(args: &[String]) -> ExitCode {
             schedule,
             vod_chaos::FailoverPolicy::Migrate,
             vod_chaos::RecoveryPolicy::Warm,
+            reseed_after.map(vod_types::Seconds::from_secs),
             &obs,
         ) {
             Ok(r) => r,
@@ -901,13 +1005,22 @@ fn chaos_main(args: &[String]) -> ExitCode {
         };
         let s = &report.summary;
         println!(
-            "faults {}  interrupted {}  migrated {}  parked {}  dropped {}  unplaceable {}",
-            s.faults_injected, s.interrupted, s.migrated, s.parked, s.dropped, s.unplaceable
+            "faults {} ({} domain)  interrupted {}  migrated {}  parked {}  dropped {}  unplaceable {}",
+            s.faults_injected,
+            s.domain_faults,
+            s.interrupted,
+            s.migrated,
+            s.parked,
+            s.dropped,
+            s.unplaceable
         );
         println!(
-            "recoveries {}  cold_rebuilds {}  ttr {}  availability {:.4}  underflows {}",
+            "recoveries {}  cold_rebuilds {}  rereplications {}  rereplicated {}  ttr {}  \
+             availability {:.4}  underflows {}",
             s.recoveries,
             s.cold_rebuilds,
+            s.rereplications,
+            s.rereplicated,
             s.mean_time_to_recover_s
                 .map_or_else(|| "-".to_owned(), |t| format!("{t:.1}s")),
             s.availability,
@@ -951,6 +1064,61 @@ fn chaos_main(args: &[String]) -> ExitCode {
             c.underflows,
             c.wall_clock_s,
         );
+    }
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let fresh = report.to_json();
+        let md = match report::render_envelope_delta(&baseline, &fresh) {
+            Ok(md) => md,
+            Err(problems) => {
+                for p in problems {
+                    eprintln!("chaos check: {p}");
+                }
+                eprintln!(
+                    "[chaos {} check REFUSED against {}]",
+                    report.mode.label(),
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(md_path) = &envelope_report {
+            if let Err(e) = std::fs::write(md_path, &md) {
+                eprintln!("error: could not write {}: {e}", md_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[envelope delta -> {}]", md_path.display());
+        }
+        let env = compare::envelope_delta(&baseline, &fresh)
+            .expect("render_envelope_delta already validated compatibility");
+        for p in &env.problems {
+            eprintln!("chaos drift: {p}");
+        }
+        return if env.passed() {
+            eprintln!(
+                "[chaos {} envelope check OK against {}]",
+                report.mode.label(),
+                baseline_path.display()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "[chaos {} envelope check FAILED against {}]",
+                report.mode.label(),
+                baseline_path.display()
+            );
+            if let Some(f) = &flight {
+                f.trigger("baseline_gate_failure");
+                flight_report(f);
+            }
+            ExitCode::FAILURE
+        };
     }
     let mut body = report.to_json();
     body.push('\n');

@@ -2,10 +2,14 @@
 //!
 //! Sweeps fault scenario × failover policy × node count over the same
 //! pinned multi-movie workloads as the cluster matrix, injecting a
-//! pinned single-node fault episode (strike at 25% of the horizon,
-//! rejoin at 60%) into every cell and measuring the degradation:
-//! interrupted / migrated / parked / dropped streams, recovery time,
-//! availability — on top of the cluster's own deterministic counters.
+//! pinned fault episode (strike at 25% of the horizon, rejoin at 60%)
+//! into every cell and measuring the degradation: interrupted /
+//! migrated / parked / dropped streams, recovery time, availability —
+//! on top of the cluster's own deterministic counters. Single-node
+//! scenarios strike node 0; zone scenarios strike the `rack0` failure
+//! domain (correlated crash of every even node); disk scenarios
+//! throttle a fraction of node 0's capacity without downing it, and
+//! the reseed scenario adds fault-triggered re-replication.
 //!
 //! Every cell pins the same cluster shape (ReplicatedHot placement,
 //! LeastLoaded dispatch) so the only things that vary are the fault and
@@ -24,7 +28,8 @@ use std::sync::Mutex;
 use std::time::Instant as WallInstant;
 
 use vod_chaos::{
-    run_chaos_on, ChaosConfig, FailoverPolicy, Fault, FaultEvent, FaultSchedule, RecoveryPolicy,
+    run_chaos_on, ChaosConfig, DomainEvent, DomainFault, DomainMap, FailoverPolicy, Fault,
+    FaultEvent, FaultSchedule, RecoveryPolicy,
 };
 use vod_cluster::{Cluster, ClusterConfig, DispatchPolicy, PlacementPolicy};
 use vod_core::memory::min_memory_static;
@@ -38,8 +43,11 @@ use crate::cluster::{cluster_engine_config, make_workload};
 /// Node counts of the full chaos sweep.
 pub const CHAOS_NODE_COUNTS: [usize; 3] = [2, 4, 8];
 
-/// The fault scenario a cell injects: one pinned episode on node 0,
-/// striking at 25% of the horizon and rejoining at 60%.
+/// The fault scenario a cell injects: one pinned episode striking at
+/// 25% of the horizon and rejoining at 60%. Single-node scenarios hit
+/// node 0; zone scenarios hit the `rack0` failure domain of a 2-rack
+/// [`DomainMap`] (every even-indexed node); disk scenarios hit one disk
+/// (or the error path) of node 0 without downing it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChaosScenario {
     /// Node 0 crashes (streams evicted, failover engaged), cold rejoin.
@@ -49,14 +57,48 @@ pub enum ChaosScenario {
     Slow,
     /// 60% of node 0's memory budget is withheld, warm rejoin.
     Pressure,
+    /// Every node in `rack0` crashes at once (correlated failure), cold
+    /// rejoin of the whole rack.
+    ZoneCrash,
+    /// [`ChaosScenario::ZoneCrash`] with fault-triggered re-replication:
+    /// nodes down past 10% of the horizon get their movies re-placed
+    /// onto survivors and parked streams re-admitted there.
+    ZoneCrashReseed,
+    /// Disk 1 of node 0 degrades 4× (that disk's share of the admission
+    /// bound shrinks to a quarter; the node stays up), warm rejoin.
+    DiskDegrade,
+    /// Node 0 develops a 30% request error rate (capacity multiplier
+    /// drops to 0.7; the node stays up), warm rejoin.
+    DiskError,
 }
 
 impl ChaosScenario {
     /// All scenarios, in bench-matrix order.
-    pub const ALL: [ChaosScenario; 3] = [
+    pub const ALL: [ChaosScenario; 7] = [
         ChaosScenario::Crash,
         ChaosScenario::Slow,
         ChaosScenario::Pressure,
+        ChaosScenario::ZoneCrash,
+        ChaosScenario::ZoneCrashReseed,
+        ChaosScenario::DiskDegrade,
+        ChaosScenario::DiskError,
+    ];
+
+    /// The original single-node scenarios, swept at every node count.
+    pub const SINGLE_NODE: [ChaosScenario; 3] = [
+        ChaosScenario::Crash,
+        ChaosScenario::Slow,
+        ChaosScenario::Pressure,
+    ];
+
+    /// The correlated / partial-fault scenarios, swept where the
+    /// cluster is big enough for a rack to be a strict subset (4+
+    /// nodes).
+    pub const CORRELATED: [ChaosScenario; 4] = [
+        ChaosScenario::ZoneCrash,
+        ChaosScenario::ZoneCrashReseed,
+        ChaosScenario::DiskDegrade,
+        ChaosScenario::DiskError,
     ];
 
     /// Stable label used in the JSON document and cell labels.
@@ -66,16 +108,28 @@ impl ChaosScenario {
             ChaosScenario::Crash => "crash",
             ChaosScenario::Slow => "slow",
             ChaosScenario::Pressure => "pressure",
+            ChaosScenario::ZoneCrash => "zone_crash",
+            ChaosScenario::ZoneCrashReseed => "zone_crash_reseed",
+            ChaosScenario::DiskDegrade => "disk_degrade",
+            ChaosScenario::DiskError => "disk_error",
         }
     }
 
-    /// The scenario's strike fault.
+    /// The scenario's strike fault (single-node scenarios only).
     #[must_use]
     fn strike(self) -> Fault {
         match self {
             ChaosScenario::Crash => Fault::NodeCrash,
             ChaosScenario::Slow => Fault::NodeSlow { factor: 4.0 },
             ChaosScenario::Pressure => Fault::MemoryPressure { fraction: 0.6 },
+            ChaosScenario::DiskDegrade => Fault::DiskDegrade {
+                disk: 1,
+                factor: 4.0,
+            },
+            ChaosScenario::DiskError => Fault::DiskError { rate: 0.3 },
+            ChaosScenario::ZoneCrash | ChaosScenario::ZoneCrashReseed => {
+                unreachable!("zone scenarios build a domain schedule")
+            }
         }
     }
 
@@ -83,40 +137,84 @@ impl ChaosScenario {
     #[must_use]
     fn recovery(self) -> RecoveryPolicy {
         match self {
-            ChaosScenario::Crash => RecoveryPolicy::Cold,
-            ChaosScenario::Slow | ChaosScenario::Pressure => RecoveryPolicy::Warm,
+            ChaosScenario::Crash | ChaosScenario::ZoneCrash | ChaosScenario::ZoneCrashReseed => {
+                RecoveryPolicy::Cold
+            }
+            ChaosScenario::Slow
+            | ChaosScenario::Pressure
+            | ChaosScenario::DiskDegrade
+            | ChaosScenario::DiskError => RecoveryPolicy::Warm,
         }
     }
 
-    /// The pinned schedule: strike node 0 at 25% of the horizon, rejoin
-    /// at 60%.
+    /// The re-replication horizon: only [`ChaosScenario::ZoneCrashReseed`]
+    /// reseeds, after a node has been down 10% of the horizon.
     #[must_use]
-    pub fn schedule(self, horizon: Seconds) -> FaultSchedule {
+    fn reseed_after(self, horizon: Seconds) -> Option<Seconds> {
+        match self {
+            ChaosScenario::ZoneCrashReseed => {
+                Some(Seconds::from_secs(horizon.as_secs_f64() * 0.10))
+            }
+            _ => None,
+        }
+    }
+
+    /// The pinned schedule: strike at 25% of the horizon, rejoin at
+    /// 60%. Zone scenarios expand over `rack0` of a 2-rack domain map
+    /// (deterministic per-node expansion in `(t, node)` order); the
+    /// rest target node 0.
+    #[must_use]
+    pub fn schedule(self, nodes: usize, horizon: Seconds) -> FaultSchedule {
         let h = horizon.as_secs_f64();
-        FaultSchedule::from_events(vec![
-            FaultEvent {
-                at: Instant::from_secs(h * 0.25),
-                node: 0,
-                fault: self.strike(),
-            },
-            FaultEvent {
-                at: Instant::from_secs(h * 0.60),
-                node: 0,
-                fault: Fault::NodeRejoin { mode: None },
-            },
-        ])
+        let strike_at = Instant::from_secs(h * 0.25);
+        let rejoin_at = Instant::from_secs(h * 0.60);
+        match self {
+            ChaosScenario::ZoneCrash | ChaosScenario::ZoneCrashReseed => {
+                let map = DomainMap::racks(nodes, 2);
+                let events = vec![
+                    DomainEvent {
+                        at: strike_at,
+                        domain: "rack0".to_string(),
+                        fault: DomainFault::Crash,
+                    },
+                    DomainEvent {
+                        at: rejoin_at,
+                        domain: "rack0".to_string(),
+                        fault: DomainFault::Rejoin { mode: None },
+                    },
+                ];
+                FaultSchedule::with_domains(&map, &events, Vec::new())
+                    .expect("rack0 exists in every 2-rack map")
+            }
+            _ => FaultSchedule::from_events(vec![
+                FaultEvent {
+                    at: strike_at,
+                    node: 0,
+                    fault: self.strike(),
+                },
+                FaultEvent {
+                    at: rejoin_at,
+                    node: 0,
+                    fault: Fault::NodeRejoin { mode: None },
+                },
+            ]),
+        }
     }
 }
 
 /// Which slice of the chaos matrix to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChaosBenchMode {
-    /// The full sweep: 3 scenarios × 3 failover policies × nodes ∈
-    /// {2, 4, 8} (27 cells) over a 6-hour trace.
+    /// The full sweep over a 6-hour trace: the 3 single-node scenarios
+    /// × 3 failover policies × nodes ∈ {2, 4, 8} (27 cells), plus the
+    /// 4 correlated/partial scenarios × 3 failover policies × nodes ∈
+    /// {4, 8} (24 cells) — 51 cells total.
     Full,
-    /// A CI-sized 2-cell subset at 2 nodes over a 2-hour trace:
-    /// crash/migrate (the headline failover path) and slow/drop (the
-    /// throttle path).
+    /// A CI-sized 4-cell subset over a 2-hour trace: crash/migrate
+    /// (the headline failover path) and slow/drop (the throttle path)
+    /// at 2 nodes, plus zone_crash_reseed/migrate (correlated failure
+    /// with re-replication) and disk_degrade/park (partial fault) at
+    /// 4 nodes.
     Smoke,
 }
 
@@ -186,7 +284,24 @@ impl ChaosBenchMode {
             ChaosBenchMode::Full => {
                 let mut out = Vec::new();
                 for nodes in CHAOS_NODE_COUNTS {
-                    for scenario in ChaosScenario::ALL {
+                    for scenario in ChaosScenario::SINGLE_NODE {
+                        for failover in FailoverPolicy::ALL {
+                            out.push(ChaosCellSpec {
+                                nodes,
+                                scenario,
+                                failover,
+                            });
+                        }
+                    }
+                }
+                // Correlated and partial-fault scenarios need a rack to
+                // be a strict subset of the cluster, so they start at 4
+                // nodes.
+                for nodes in CHAOS_NODE_COUNTS {
+                    if nodes < 4 {
+                        continue;
+                    }
+                    for scenario in ChaosScenario::CORRELATED {
                         for failover in FailoverPolicy::ALL {
                             out.push(ChaosCellSpec {
                                 nodes,
@@ -209,6 +324,16 @@ impl ChaosBenchMode {
                     scenario: ChaosScenario::Slow,
                     failover: FailoverPolicy::Drop,
                 },
+                ChaosCellSpec {
+                    nodes: 4,
+                    scenario: ChaosScenario::ZoneCrashReseed,
+                    failover: FailoverPolicy::Migrate,
+                },
+                ChaosCellSpec {
+                    nodes: 4,
+                    scenario: ChaosScenario::DiskDegrade,
+                    failover: FailoverPolicy::Park,
+                },
             ],
         }
     }
@@ -224,6 +349,7 @@ impl ChaosBenchMode {
             format!("arrivals_per_node={}", self.arrivals_per_node()),
             format!("horizon_hours={}", self.horizon_hours()),
             "strike=0.25/rejoin=0.60/node=0".to_owned(),
+            "disks=2/zone=rack0-of-2/reseed_after=0.10".to_owned(),
         ];
         for spec in self.cells() {
             parts.push(format!(
@@ -282,6 +408,17 @@ pub struct ChaosCellResult {
     pub recoveries: u64,
     /// Rejoins that rebuilt tables cold.
     pub cold_rebuilds: u64,
+    /// Domain-level events the schedule expanded from (0 for flat
+    /// schedules).
+    pub domain_faults: u64,
+    /// Disk-degrade faults applied.
+    pub disk_degradations: u64,
+    /// Disk-error faults applied.
+    pub disk_errors: u64,
+    /// Movies re-replicated onto survivors by fault-triggered reseeds.
+    pub rereplications: u64,
+    /// Parked streams re-admitted through a rebuilt replica.
+    pub rereplicated_streams: u64,
     /// Mean seconds from down to rejoin (None if nothing went down).
     pub mean_time_to_recover_s: Option<f64>,
     /// Fraction of node-time available over the run.
@@ -319,6 +456,11 @@ impl ChaosCellResult {
         o.uint("unplaceable", self.unplaceable);
         o.uint("recoveries", self.recoveries);
         o.uint("cold_rebuilds", self.cold_rebuilds);
+        o.uint("domain_faults", self.domain_faults);
+        o.uint("disk_degradations", self.disk_degradations);
+        o.uint("disk_errors", self.disk_errors);
+        o.uint("rereplications", self.rereplications);
+        o.uint("rereplicated_streams", self.rereplicated_streams);
         match self.mean_time_to_recover_s {
             Some(x) => o.num("mean_time_to_recover_s", x),
             None => o.null("mean_time_to_recover_s"),
@@ -383,6 +525,10 @@ fn chaos_cluster_config(mode: ChaosBenchMode, nodes: usize) -> ClusterConfig {
         &engine.params,
         engine.params.max_requests(),
     ));
+    // Two disks per node so partial faults have a sub-budget to hit;
+    // with both disks healthy the combined multiplier is exactly 1.0,
+    // so non-disk cells are bit-identical to the single-disk shape.
+    engine.disks = 2;
     ClusterConfig {
         nodes,
         engine,
@@ -398,13 +544,13 @@ fn chaos_cluster_config(mode: ChaosBenchMode, nodes: usize) -> ClusterConfig {
 }
 
 fn cell_chaos_config(mode: ChaosBenchMode, spec: ChaosCellSpec) -> ChaosConfig {
+    let horizon = Seconds::from_hours(mode.horizon_hours());
     ChaosConfig {
         cluster: chaos_cluster_config(mode, spec.nodes),
-        schedule: spec
-            .scenario
-            .schedule(Seconds::from_hours(mode.horizon_hours())),
+        schedule: spec.scenario.schedule(spec.nodes, horizon),
         failover: spec.failover,
         recovery: spec.scenario.recovery(),
+        reseed_after: spec.scenario.reseed_after(horizon),
     }
 }
 
@@ -492,6 +638,11 @@ fn run_chaos_cell(
         unplaceable: report.summary.unplaceable,
         recoveries: report.summary.recoveries,
         cold_rebuilds: report.summary.cold_rebuilds,
+        domain_faults: report.summary.domain_faults,
+        disk_degradations: report.summary.disk_degradations,
+        disk_errors: report.summary.disk_errors,
+        rereplications: report.summary.rereplications,
+        rereplicated_streams: report.summary.rereplicated,
         mean_time_to_recover_s: report.summary.mean_time_to_recover_s,
         availability: report.summary.availability,
         per_node_redirects: report
@@ -516,6 +667,7 @@ pub fn run_chaos_adhoc(
     schedule: FaultSchedule,
     failover: FailoverPolicy,
     recovery: RecoveryPolicy,
+    reseed_after: Option<Seconds>,
     obs: &Obs,
 ) -> Result<vod_chaos::ChaosReport, vod_types::ConfigError> {
     let mode = ChaosBenchMode::Smoke;
@@ -530,6 +682,7 @@ pub fn run_chaos_adhoc(
         schedule,
         failover,
         recovery,
+        reseed_after,
     };
     vod_chaos::run_chaos(&cfg, &wl.arrivals, 1, obs.clone())
 }
@@ -720,29 +873,37 @@ mod tests {
     #[test]
     fn full_matrix_sweeps_every_shape_once() {
         let cells = ChaosBenchMode::Full.cells();
-        assert_eq!(cells.len(), CHAOS_NODE_COUNTS.len() * 3 * 3);
+        // 3 single-node scenarios at {2,4,8} nodes + 4 correlated
+        // scenarios at {4,8} nodes, each × 3 failover policies.
+        assert_eq!(cells.len(), 3 * 3 * 3 + 4 * 2 * 3);
         let dedup: std::collections::HashSet<String> = cells
             .iter()
             .map(|c| format!("{}/{}/{}", c.nodes, c.scenario.label(), c.failover.label()))
             .collect();
         assert_eq!(dedup.len(), cells.len(), "no duplicate cells");
+        assert!(
+            cells
+                .iter()
+                .all(|c| c.nodes >= 4 || ChaosScenario::SINGLE_NODE.contains(&c.scenario)),
+            "correlated scenarios need a rack to be a strict subset"
+        );
     }
 
     #[test]
     fn smoke_matrix_runs_serializes_and_degrades_gracefully() {
         let report = run_chaos_bench(ChaosBenchMode::Smoke, 1, &Obs::null(), &|_| {});
-        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells.len(), 4);
         for cell in &report.cells {
-            assert_eq!(cell.nodes, 2);
             assert!(cell.dispatched > 0);
             assert_eq!(cell.underflows, 0, "chaos must never underflow");
-            assert_eq!(cell.faults_injected, 2, "strike + rejoin");
-            assert_eq!(cell.recoveries, 1);
             assert!(cell.availability <= 1.0);
         }
         // The crash/migrate cell interrupts streams and recovers them.
         let crash = &report.cells[0];
         assert_eq!(crash.scenario, "crash");
+        assert_eq!(crash.nodes, 2);
+        assert_eq!(crash.faults_injected, 2, "strike + rejoin");
+        assert_eq!(crash.recoveries, 1);
         assert!(crash.interrupted > 0);
         assert_eq!(
             crash.interrupted,
@@ -756,10 +917,36 @@ mod tests {
         assert_eq!(slow.scenario, "slow");
         assert_eq!(slow.interrupted, 0);
         assert_eq!(slow.cold_rebuilds, 0);
+        // The zone_crash_reseed/migrate cell downs rack0 = {0, 2} of 4
+        // nodes (2 domain events → 4 per-node faults) and rebuilds the
+        // lost replicas onto the survivors before the rack rejoins.
+        let zone = &report.cells[2];
+        assert_eq!(zone.scenario, "zone_crash_reseed");
+        assert_eq!(zone.nodes, 4);
+        assert_eq!(zone.domain_faults, 2);
+        assert_eq!(zone.faults_injected, 4);
+        assert_eq!(zone.recoveries, 2);
+        assert!(zone.interrupted > 0);
+        assert!(
+            zone.rereplications > 0,
+            "the reseed horizon elapses while rack0 is down"
+        );
+        assert!(zone.rereplicated_streams <= zone.parked_failover);
+        assert!(zone.availability < 1.0);
+        // The disk_degrade/park cell throttles one disk's sub-budget
+        // without downing the node.
+        let disk = &report.cells[3];
+        assert_eq!(disk.scenario, "disk_degrade");
+        assert_eq!(disk.nodes, 4);
+        assert_eq!(disk.disk_degradations, 1);
+        assert_eq!(disk.interrupted, 0, "partial faults keep the node up");
+        assert!((disk.availability - 1.0).abs() < f64::EPSILON);
 
         let json = report.to_json();
         assert!(json.contains("\"mode\":\"cluster_chaos_smoke\""));
         assert!(json.contains("\"scenario\":\"crash\""));
+        assert!(json.contains("\"scenario\":\"zone_crash_reseed\""));
+        assert!(json.contains("\"rereplications\""));
         assert!(json.contains("\"availability\""));
     }
 
@@ -806,8 +993,8 @@ mod tests {
             "failover spans must appear in the crash cell's section"
         );
         crate::traceview::check_schema(&trace).expect("trace schema must hold");
-        let report = crate::traceview::analyze(&trace, 3).expect("trace must parse");
-        assert_eq!(report.sections.len(), 2, "one section per smoke cell");
+        let report = crate::traceview::analyze(&trace, 5).expect("trace must parse");
+        assert_eq!(report.sections.len(), 4, "one section per smoke cell");
         assert!(
             report.audit_passed(),
             "invariant audit: {:?}",
@@ -858,6 +1045,7 @@ mod tests {
                         schedule: FaultSchedule::empty(),
                         failover: FailoverPolicy::Migrate,
                         recovery: RecoveryPolicy::Warm,
+                        reseed_after: None,
                     };
                     let chaos =
                         run_chaos(&chaos_cfg, &wl.arrivals, 1, Obs::null()).expect("valid config");
@@ -897,6 +1085,7 @@ mod tests {
             schedule: FaultSchedule::empty(),
             failover: FailoverPolicy::Migrate,
             recovery: RecoveryPolicy::Warm,
+            reseed_after: None,
         };
         let chaos = run_chaos(&cfg, &wl.arrivals, 1, Obs::null()).expect("valid config");
         assert_eq!(chaos.cluster, plain);

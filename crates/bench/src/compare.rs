@@ -208,6 +208,11 @@ fn exact_counters(kind: DocKind) -> &'static [&'static str] {
             "dropped",
             "unplaceable",
             "recoveries",
+            "domain_faults",
+            "disk_degradations",
+            "disk_errors",
+            "rereplications",
+            "rereplicated_streams",
         ],
     }
 }
@@ -338,6 +343,190 @@ fn compare_cell(
     }
 }
 
+/// Absolute availability drift tolerated by the degradation-envelope
+/// gate (the matrix is deterministic; the slack absorbs intentional
+/// small behavior changes without letting availability collapse).
+pub const ENVELOPE_AVAILABILITY_TOL: f64 = 0.02;
+/// Absolute drift tolerated on each failover-split fraction
+/// (migrated / parked / dropped / re-replicated, as fractions of the
+/// interrupted streams).
+pub const ENVELOPE_FRACTION_TOL: f64 = 0.05;
+/// Relative time-to-recover drift tolerated by the envelope gate.
+pub const ENVELOPE_TTR_REL_TOL: f64 = 0.10;
+/// Absolute time-to-recover drift floor: below this many seconds, TTR
+/// drift never fails the gate.
+pub const ENVELOPE_TTR_MIN_S: f64 = 1.0;
+
+/// One gated metric of a chaos cell's degradation envelope.
+#[derive(Clone, Debug)]
+pub struct EnvelopeMetric {
+    /// Metric name (`availability`, `migrated_frac`, …).
+    pub name: &'static str,
+    /// Baseline value (`None` when the cell never measured it, e.g.
+    /// TTR with nothing down).
+    pub old: Option<f64>,
+    /// Candidate value.
+    pub new: Option<f64>,
+    /// Absolute tolerance applied to `|new - old|`.
+    pub tolerance: f64,
+    /// Whether the drift is within tolerance.
+    pub ok: bool,
+}
+
+/// Envelope deltas for one chaos cell.
+#[derive(Clone, Debug)]
+pub struct EnvelopeCellDelta {
+    /// Cell label (`4n/replicated_hot/least_loaded/zone_crash/migrate`).
+    pub label: String,
+    /// The gated metrics, in stable order.
+    pub metrics: Vec<EnvelopeMetric>,
+}
+
+/// The result of diffing two chaos documents' degradation envelopes.
+#[derive(Clone, Debug)]
+pub struct EnvelopeReport {
+    /// Per-cell metric deltas, in matrix order.
+    pub cells: Vec<EnvelopeCellDelta>,
+    /// Out-of-tolerance drift, one line per violation.
+    pub problems: Vec<String>,
+}
+
+impl EnvelopeReport {
+    /// True when every metric of every cell stayed inside its envelope.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// True when the document describes the chaos matrix (either mode).
+fn is_chaos_doc(doc: &Json) -> bool {
+    doc.get("mode")
+        .and_then(Json::as_str)
+        .is_some_and(|m| m.starts_with("cluster_chaos"))
+}
+
+/// The degradation envelope of one chaos cell: availability, the
+/// failover split as fractions of interrupted streams, and the mean
+/// time to recover.
+fn cell_envelope(cell: &Json) -> Vec<(&'static str, Option<f64>, f64)> {
+    let interrupted = cell
+        .get("interrupted")
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+        .max(1) as f64;
+    let frac = |key: &str| {
+        cell.get(key)
+            .and_then(Json::as_u64)
+            .map(|v| v as f64 / interrupted)
+    };
+    vec![
+        (
+            "availability",
+            cell.get("availability").and_then(Json::as_f64),
+            ENVELOPE_AVAILABILITY_TOL,
+        ),
+        ("migrated_frac", frac("migrated"), ENVELOPE_FRACTION_TOL),
+        (
+            "parked_frac",
+            frac("parked_failover"),
+            ENVELOPE_FRACTION_TOL,
+        ),
+        ("dropped_frac", frac("dropped"), ENVELOPE_FRACTION_TOL),
+        (
+            "rereplicated_frac",
+            frac("rereplicated_streams"),
+            ENVELOPE_FRACTION_TOL,
+        ),
+        (
+            "ttr_s",
+            cell.get("mean_time_to_recover_s").and_then(Json::as_f64),
+            // Placeholder; the TTR tolerance is relative and resolved
+            // against the baseline value in `envelope_delta`.
+            ENVELOPE_TTR_MIN_S,
+        ),
+    ]
+}
+
+/// Diffs two chaos documents' degradation envelopes (availability,
+/// drop/migrate/park/re-replicate split, time-to-recover) under the
+/// `ENVELOPE_*` tolerances. Returns `Err` with the refusal reasons when
+/// the documents are not comparable or not chaos documents.
+///
+/// # Errors
+///
+/// Returns the incompatibility reasons (parse failure, non-chaos mode,
+/// metadata stamp mismatch, cell mismatch).
+pub fn envelope_delta(old_src: &str, new_src: &str) -> Result<EnvelopeReport, Vec<String>> {
+    let old = parse(old_src).map_err(|e| vec![format!("old document does not parse: {e}")])?;
+    let new = parse(new_src).map_err(|e| vec![format!("new document does not parse: {e}")])?;
+    if !is_chaos_doc(&old) || !is_chaos_doc(&new) {
+        return Err(vec![
+            "degradation envelopes exist only for chaos documents (mode `cluster_chaos_*`)".into(),
+        ]);
+    }
+    let problems = compatibility_problems(&old, &new);
+    if !problems.is_empty() {
+        return Err(problems);
+    }
+
+    let empty: Vec<Json> = Vec::new();
+    let old_cells = old.get("cells").and_then(Json::as_arr).unwrap_or(&empty);
+    let new_cells = new.get("cells").and_then(Json::as_arr).unwrap_or(&empty);
+    if old_cells.len() != new_cells.len() {
+        return Err(vec![format!(
+            "cell count mismatch: old {}, new {}",
+            old_cells.len(),
+            new_cells.len()
+        )]);
+    }
+
+    let mut cells = Vec::with_capacity(old_cells.len());
+    let mut problems = Vec::new();
+    for (o, n) in old_cells.iter().zip(new_cells) {
+        let label = cell_label(DocKind::Cluster, n);
+        if cell_label(DocKind::Cluster, o) != label {
+            return Err(vec![format!(
+                "cell order mismatch: old {} vs new {label}",
+                cell_label(DocKind::Cluster, o)
+            )]);
+        }
+        let mut metrics = Vec::new();
+        for ((name, old_v, tol), (_, new_v, _)) in
+            cell_envelope(o).into_iter().zip(cell_envelope(n))
+        {
+            let tolerance = if name == "ttr_s" {
+                old_v.map_or(ENVELOPE_TTR_MIN_S, |x| {
+                    (x.abs() * ENVELOPE_TTR_REL_TOL).max(ENVELOPE_TTR_MIN_S)
+                })
+            } else {
+                tol
+            };
+            let ok = match (old_v, new_v) {
+                (None, None) => true,
+                (Some(a), Some(b)) => (b - a).abs() <= tolerance,
+                _ => false,
+            };
+            if !ok {
+                problems.push(format!(
+                    "{label}: {name} drifted outside the envelope: old {}, new {} (tolerance ±{tolerance})",
+                    old_v.map_or_else(|| "-".into(), |x| format!("{x:.4}")),
+                    new_v.map_or_else(|| "-".into(), |x| format!("{x:.4}")),
+                ));
+            }
+            metrics.push(EnvelopeMetric {
+                name,
+                old: old_v,
+                new: new_v,
+                tolerance,
+                ok,
+            });
+        }
+        cells.push(EnvelopeCellDelta { label, metrics });
+    }
+    Ok(EnvelopeReport { cells, problems })
+}
+
 /// Diffs two bench documents (both `BENCH_perf.json`-shaped or both
 /// `BENCH_cluster.json`-shaped). See the module docs for the rules.
 #[must_use]
@@ -386,6 +575,27 @@ pub fn compare_documents(old_src: &str, new_src: &str, tolerance: f64) -> Compar
             continue;
         }
         compare_cell(kind, &label, o, n, tolerance, &mut problems, &mut info);
+    }
+
+    // Chaos documents additionally get the degradation-envelope view:
+    // one info line per cell summarizing the envelope drift, and any
+    // out-of-tolerance envelope metric counts as a regression (on top
+    // of the exact-counter rules above).
+    if is_chaos_doc(&old) && is_chaos_doc(&new) {
+        if let Ok(env) = envelope_delta(old_src, new_src) {
+            for cell in &env.cells {
+                let deltas: Vec<String> = cell
+                    .metrics
+                    .iter()
+                    .map(|m| match (m.old, m.new) {
+                        (Some(a), Some(b)) => format!("{} {:+.4}", m.name, b - a),
+                        _ => format!("{} -", m.name),
+                    })
+                    .collect();
+                info.push(format!("{}: envelope {}", cell.label, deltas.join(", ")));
+            }
+            problems.extend(env.problems);
+        }
     }
 
     CompareReport {
@@ -536,6 +746,86 @@ mod tests {
             "{:?}",
             r.info
         );
+    }
+
+    /// A minimal stamped one-cell chaos document, parameterized on the
+    /// envelope inputs the tests vary.
+    fn chaos_doc(avail: f64, migrated: u64, dropped: u64, ttr: f64) -> String {
+        format!(
+            concat!(
+                r#"{{"version":2,"mode":"cluster_chaos_smoke","config_fingerprint":"feed","#,
+                r#""matrix":{{"cells":1}},"total_wall_clock_s":1.0,"cells":[{{"#,
+                r#""nodes":4,"placement":"replicated_hot","dispatch":"least_loaded","#,
+                r#""scenario":"zone_crash","failover":"migrate","wall_clock_s":1.0,"#,
+                r#""dispatched":100,"admitted":90,"deferred":0,"rejected":0,"redirected":0,"#,
+                r#""overflow_queued":0,"underflows":0,"peak_memory_mib":1.0,"#,
+                r#""faults_injected":4,"interrupted":20,"migrated":{migrated},"#,
+                r#""parked_failover":0,"dropped":{dropped},"unplaceable":0,"#,
+                r#""recoveries":2,"cold_rebuilds":2,"domain_faults":2,"#,
+                r#""disk_degradations":0,"disk_errors":0,"rereplications":0,"#,
+                r#""rereplicated_streams":0,"mean_time_to_recover_s":{ttr},"#,
+                r#""availability":{avail}}}]}}"#
+            ),
+            avail = avail,
+            migrated = migrated,
+            dropped = dropped,
+            ttr = ttr,
+        )
+    }
+
+    #[test]
+    fn envelope_self_delta_passes_and_compare_reports_it() {
+        let doc = chaos_doc(0.98, 20, 0, 2500.0);
+        let env = envelope_delta(&doc, &doc).expect("comparable");
+        assert!(env.passed(), "{:?}", env.problems);
+        assert_eq!(env.cells.len(), 1);
+        assert_eq!(env.cells[0].metrics.len(), 6);
+        // `repro compare` surfaces the envelope as info lines for
+        // chaos documents.
+        let r = compare_documents(&doc, &doc, DEFAULT_TOLERANCE);
+        assert_eq!(r.verdict, CompareVerdict::Matches, "{:?}", r.problems);
+        assert!(
+            r.info.iter().any(|i| i.contains("envelope")),
+            "{:?}",
+            r.info
+        );
+    }
+
+    #[test]
+    fn envelope_catches_availability_and_split_drift() {
+        let old = chaos_doc(0.98, 20, 0, 2500.0);
+        let new = chaos_doc(0.90, 10, 10, 2500.0);
+        let env = envelope_delta(&old, &new).expect("comparable");
+        assert!(!env.passed());
+        for name in ["availability", "migrated_frac", "dropped_frac"] {
+            assert!(
+                env.problems.iter().any(|p| p.contains(name)),
+                "missing {name}: {:?}",
+                env.problems
+            );
+        }
+        // The envelope drift also fails `repro compare` (on top of the
+        // exact-counter mismatches).
+        let r = compare_documents(&old, &new, DEFAULT_TOLERANCE);
+        assert_eq!(r.verdict, CompareVerdict::Regression);
+    }
+
+    #[test]
+    fn envelope_ttr_tolerance_is_relative_with_a_floor() {
+        let old = chaos_doc(0.98, 20, 0, 2500.0);
+        // 4% TTR drift: inside the 10% relative band.
+        let env = envelope_delta(&old, &chaos_doc(0.98, 20, 0, 2600.0)).expect("comparable");
+        assert!(env.passed(), "{:?}", env.problems);
+        // 20% TTR drift: outside.
+        let env = envelope_delta(&old, &chaos_doc(0.98, 20, 0, 3000.0)).expect("comparable");
+        assert!(env.problems.iter().any(|p| p.contains("ttr_s")));
+    }
+
+    #[test]
+    fn envelope_refuses_non_chaos_documents() {
+        let engine = smoke_json();
+        let err = envelope_delta(&engine, &engine).expect_err("engine docs have no envelope");
+        assert!(err.iter().any(|p| p.contains("chaos")), "{err:?}");
     }
 
     #[test]

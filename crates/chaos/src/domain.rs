@@ -1,0 +1,200 @@
+//! Failure domains: named groups of nodes (racks, zones) that fail as a
+//! unit, layered over the placement map.
+//!
+//! A [`DomainMap`] is pure data; [`DomainEvent`]s against it expand
+//! deterministically into per-node [`FaultEvent`]s *before* a run starts
+//! (see [`FaultSchedule::with_domains`]), so the runner stays a
+//! per-node interpreter and every existing identity and equivalence
+//! proof — empty schedule ≡ plain run, byte-identical replay at any job
+//! count — carries over structurally: a domain schedule *is* a flat
+//! schedule by the time the runner sees it.
+//!
+//! [`FaultEvent`]: crate::FaultEvent
+//! [`FaultSchedule`]: crate::FaultSchedule
+//! [`FaultSchedule::with_domains`]: crate::FaultSchedule::with_domains
+
+use vod_types::Instant;
+
+use crate::schedule::RejoinMode;
+
+/// A named node → domain assignment. Domains may leave nodes unassigned
+/// (a node outside every rack simply never receives domain faults), and
+/// a node may belong to several overlapping domains (a rack and a zone).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DomainMap {
+    /// `(name, member nodes)` pairs; members are sorted and deduplicated
+    /// so expansion order is a pure function of the map.
+    domains: Vec<(String, Vec<usize>)>,
+}
+
+impl DomainMap {
+    /// The empty map: no domains, so domain events cannot be addressed
+    /// and a schedule built over it is exactly a flat schedule.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a map from explicit `(name, nodes)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an empty domain name, a duplicate name, or
+    /// a domain with no members.
+    pub fn from_domains<I, S>(pairs: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = (S, Vec<usize>)>,
+        S: Into<String>,
+    {
+        let mut domains: Vec<(String, Vec<usize>)> = Vec::new();
+        for (name, mut nodes) in pairs {
+            let name = name.into();
+            if name.is_empty() {
+                return Err("domain name must be non-empty".to_string());
+            }
+            if domains.iter().any(|(n, _)| *n == name) {
+                return Err(format!("duplicate domain `{name}`"));
+            }
+            nodes.sort_unstable();
+            nodes.dedup();
+            if nodes.is_empty() {
+                return Err(format!("domain `{name}` has no member nodes"));
+            }
+            domains.push((name, nodes));
+        }
+        Ok(Self { domains })
+    }
+
+    /// The canonical rack layout: `racks` domains named `rack0`,
+    /// `rack1`, …, with node `i` in rack `i mod racks` — the round-robin
+    /// assignment a top-of-rack switch topology induces. Racks beyond
+    /// the node count are omitted rather than left empty.
+    #[must_use]
+    pub fn racks(nodes: usize, racks: usize) -> Self {
+        let racks = racks.clamp(1, nodes.max(1));
+        let domains = (0..racks)
+            .map(|r| {
+                let members: Vec<usize> = (r..nodes).step_by(racks).collect();
+                (format!("rack{r}"), members)
+            })
+            .filter(|(_, members)| !members.is_empty())
+            .collect();
+        Self { domains }
+    }
+
+    /// The member nodes of `name` (sorted), if the domain exists.
+    #[must_use]
+    pub fn nodes_of(&self, name: &str) -> Option<&[usize]> {
+        self.domains
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nodes)| nodes.as_slice())
+    }
+
+    /// True when no domains are defined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Number of domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Iterates `(name, nodes)` pairs in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[usize])> {
+        self.domains
+            .iter()
+            .map(|(n, nodes)| (n.as_str(), nodes.as_slice()))
+    }
+
+    /// Largest node index any domain references (for validation against
+    /// a cluster's node count).
+    #[must_use]
+    pub fn max_node(&self) -> Option<usize> {
+        self.domains
+            .iter()
+            .flat_map(|(_, nodes)| nodes.iter().copied())
+            .max()
+    }
+}
+
+/// A correlated fault against every node of one domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DomainFault {
+    /// Every member node crashes (rack power loss).
+    Crash,
+    /// Every member node's disk slows by `factor` ≥ 1 (shared uplink
+    /// congestion).
+    Slow {
+        /// Slowdown multiple (≥ 1.0).
+        factor: f64,
+    },
+    /// Every member node returns to service.
+    Rejoin {
+        /// `None` defers to the run's [`crate::RecoveryPolicy`].
+        mode: Option<RejoinMode>,
+    },
+}
+
+/// One scheduled domain fault: which domain, what, when. Expansion
+/// produces one per-node [`crate::FaultEvent`] per member at the same
+/// instant, so members fail together and in node order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DomainEvent {
+    /// Simulated instant the correlated fault fires.
+    pub at: Instant,
+    /// Target domain name (must exist in the map at expansion time).
+    pub domain: String,
+    /// The fault applied to every member.
+    pub fault: DomainFault,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn racks_round_robin_and_cover_every_node() {
+        let m = DomainMap::racks(5, 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.nodes_of("rack0"), Some(&[0, 2, 4][..]));
+        assert_eq!(m.nodes_of("rack1"), Some(&[1, 3][..]));
+        assert_eq!(m.max_node(), Some(4));
+        assert_eq!(m.nodes_of("rack2"), None);
+    }
+
+    #[test]
+    fn more_racks_than_nodes_omits_empty_racks() {
+        let m = DomainMap::racks(2, 8);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.nodes_of("rack0"), Some(&[0][..]));
+        assert_eq!(m.nodes_of("rack1"), Some(&[1][..]));
+    }
+
+    #[test]
+    fn explicit_domains_sort_and_reject_duplicates() {
+        let m = DomainMap::from_domains([("zone-a", vec![3, 1, 1]), ("zone-b", vec![0])])
+            .expect("valid domains");
+        assert_eq!(m.nodes_of("zone-a"), Some(&[1, 3][..]));
+        assert!(DomainMap::from_domains([("z", vec![0]), ("z", vec![1])])
+            .unwrap_err()
+            .contains("duplicate domain"));
+        assert!(DomainMap::from_domains([("z", vec![])])
+            .unwrap_err()
+            .contains("no member nodes"));
+        assert!(DomainMap::from_domains([("", vec![0])])
+            .unwrap_err()
+            .contains("non-empty"));
+    }
+
+    #[test]
+    fn empty_map_is_empty() {
+        let m = DomainMap::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.max_node(), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+}

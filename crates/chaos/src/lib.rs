@@ -32,14 +32,28 @@
 //! rather than perturbing the service loop — strictly safe, never
 //! underflow-inducing. [`Fault::MemoryPressure`] shrinks the memory
 //! budget the reservation check admits against, for the same reason.
+//! Partial faults extend the same equivalence below the node: a
+//! [`Fault::DiskDegrade`] throttles one disk's share of the admission
+//! bound and a [`Fault::DiskError`] maps an error rate `r` to a `1 − r`
+//! capacity multiplier — deterministic, admission-only, underflow-free.
+//!
+//! Correlated failures are modelled by a [`DomainMap`] (racks/zones
+//! layered over placement) whose [`DomainEvent`]s expand into flat
+//! per-node schedules before the run starts, and recovery is
+//! placement-aware: a node down past [`ChaosConfig::reseed_after`]
+//! triggers re-replication of its movies onto the least-loaded
+//! survivors, with parked streams re-admitted through the new replicas'
+//! own admission controllers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domain;
 pub mod policy;
 pub mod runner;
 pub mod schedule;
 
+pub use domain::{DomainEvent, DomainFault, DomainMap};
 pub use policy::{FailoverPolicy, RecoveryPolicy};
 pub use runner::{run_chaos, run_chaos_on, ChaosConfig, ChaosReport, ChaosSummary};
 pub use schedule::{Fault, FaultEvent, FaultSchedule, RejoinMode};

@@ -17,11 +17,14 @@
 use vod_cluster::{Cluster, ClusterConfig, ClusterReport};
 use vod_core::SizeTable;
 use vod_obs::event::{Event, EventKind};
-use vod_obs::metrics::{CTR_FAILOVERS, CTR_FAULTS_INJECTED, CTR_RECOVERIES, CTR_STREAMS_DROPPED};
+use vod_obs::metrics::{
+    CTR_DISK_DEGRADATIONS, CTR_DOMAIN_FAULTS, CTR_FAILOVERS, CTR_FAULTS_INJECTED, CTR_RECOVERIES,
+    CTR_REREPLICATIONS, CTR_STREAMS_DROPPED,
+};
 use vod_obs::span::{AnnoValue, SpanId, SpanKind, SpanStatus, TraceId, SEQ_FAILOVER};
 use vod_obs::Obs;
 use vod_sim::EvictedStream;
-use vod_types::{ConfigError, DiskId, Instant};
+use vod_types::{ConfigError, DiskId, Instant, Seconds, VideoId};
 use vod_workload::Arrival;
 
 use crate::policy::{FailoverPolicy, RecoveryPolicy};
@@ -43,6 +46,12 @@ pub struct ChaosConfig {
     pub failover: FailoverPolicy,
     /// How unspecified rejoins rebuild tables.
     pub recovery: RecoveryPolicy,
+    /// Re-replication horizon: when a node stays down this long, its
+    /// movies are re-placed onto the least-loaded survivors (weighted by
+    /// *observed* load) and parked streams get a re-admission pass
+    /// through the new replicas' own admission controllers. `None`
+    /// disables fault-triggered re-replication.
+    pub reseed_after: Option<Seconds>,
 }
 
 /// Degradation accounting for one chaos run. All counts are exact (not
@@ -57,6 +66,13 @@ pub struct ChaosSummary {
     pub slowdowns: u64,
     /// Memory-pressure faults applied.
     pub pressures: u64,
+    /// Domain-level fault events (rack/zone) the schedule was expanded
+    /// from; each expanded into one per-node fault per member.
+    pub domain_faults: u64,
+    /// Partial per-disk degradation faults applied.
+    pub disk_degradations: u64,
+    /// Partial error-rate faults applied.
+    pub disk_errors: u64,
     /// Streams interrupted by crashes (evicted mid-viewing or while
     /// queued; streams that had already finished viewing are excluded).
     pub interrupted: u64,
@@ -75,6 +91,12 @@ pub struct ChaosSummary {
     pub recoveries: u64,
     /// Rejoins that rebuilt tables from scratch (cold).
     pub cold_rebuilds: u64,
+    /// Movies re-placed onto surviving nodes by fault-triggered
+    /// re-replication (nodes down past `reseed_after`).
+    pub rereplications: u64,
+    /// Failover-parked streams re-admitted through a rebuilt replica's
+    /// own admission controller (a subset of `parked`).
+    pub rereplicated: u64,
     /// Mean seconds from a node going down to its rejoin; `None` when no
     /// downed node rejoined.
     pub mean_time_to_recover_s: Option<f64>,
@@ -119,6 +141,17 @@ pub fn run_chaos(
             ));
         }
     }
+    if let Some(max) = cfg.schedule.max_disk() {
+        if max >= cfg.cluster.engine.disks {
+            return Err(ConfigError::new(
+                "chaos_schedule",
+                format!(
+                    "schedule degrades disk {max} but each node has {} disk(s)",
+                    cfg.cluster.engine.disks
+                ),
+            ));
+        }
+    }
     let cluster = Cluster::with_observer(cfg.cluster.clone(), obs)?;
     Ok(run_chaos_on(cluster, cfg, arrivals, jobs))
 }
@@ -146,16 +179,21 @@ pub fn run_chaos_on(
     for a in arrivals {
         // Faults due at or before this arrival fire first, each at its
         // own instant, so eviction and failover happen on caught-up
-        // engines before the arrival is dispatched.
+        // engines before the arrival is dispatched. The re-replication
+        // check runs at every event instant (fault or arrival) — time
+        // only advances at events, so that is the finest deterministic
+        // granularity the horizon can be observed at.
         while let Some(&&f) = faults.peek() {
             if f.at > a.at {
                 break;
             }
             cluster.advance_nodes_to(f.at);
+            st.maybe_reseed(&mut cluster, f.at);
             st.apply(&mut cluster, f);
             faults.next();
         }
         cluster.advance_nodes_to(a.at);
+        st.maybe_reseed(&mut cluster, a.at);
         cluster.step_arrival(a);
         st.horizon = a.at;
     }
@@ -163,6 +201,7 @@ pub fn run_chaos_on(
     // rejoin must get its re-admission pass before the overflow flush.
     for f in faults {
         cluster.advance_nodes_to(f.at);
+        st.maybe_reseed(&mut cluster, f.at);
         st.apply(&mut cluster, *f);
     }
     // Parked entries whose every candidate is still down cannot flush
@@ -191,22 +230,32 @@ struct ChaosState<'a> {
     horizon: Instant,
     /// Migration counter — the index salt for failover trace ids.
     migrations: u64,
+    /// Nodes whose hot set was already re-replicated this down-interval
+    /// (reset on rejoin, so a later crash can trigger a fresh rebuild).
+    reseeded: Vec<bool>,
 }
 
 impl<'a> ChaosState<'a> {
     fn new(cluster: &mut Cluster, cfg: &'a ChaosConfig) -> Self {
+        let obs = cluster.observer();
+        let domain_faults = cfg.schedule.domain_event_count();
+        if domain_faults > 0 {
+            obs.metrics().counter(CTR_DOMAIN_FAULTS).add(domain_faults);
+        }
         Self {
             cfg,
-            obs: cluster.observer(),
+            obs,
             seed: cluster.seed(),
             summary: ChaosSummary {
                 availability: 1.0,
+                domain_faults,
                 ..ChaosSummary::default()
             },
             down_since: vec![None; cluster.node_count()],
             ttr: Vec::new(),
             horizon: Instant::ZERO,
             migrations: 0,
+            reseeded: vec![false; cluster.node_count()],
         }
     }
 
@@ -246,7 +295,91 @@ impl<'a> ChaosState<'a> {
             Fault::NodeRejoin { mode } => {
                 self.rejoin(cluster, f.at, f.node, mode);
             }
+            Fault::DiskDegrade { disk, factor } => {
+                self.summary.disk_degradations += 1;
+                // A disk `factor`× slower keeps `1/factor` of its share
+                // — the same equivalence NodeSlow uses, scoped to one
+                // disk.
+                cluster.degrade_disk(f.node, disk, 1.0 / factor.max(1.0));
+                self.obs.metrics().counter(CTR_DISK_DEGRADATIONS).add(1);
+            }
+            Fault::DiskError { rate } => {
+                self.summary.disk_errors += 1;
+                cluster.set_disk_error(f.node, rate.clamp(0.0, 1.0));
+                self.obs.metrics().counter(CTR_DISK_DEGRADATIONS).add(1);
+            }
         }
+    }
+
+    /// Fault-triggered re-replication: any node down for at least
+    /// `reseed_after` gets its movies re-placed onto surviving nodes,
+    /// once per down-interval. Target choice ranks survivors by
+    /// *observed* load (offered streams plus replicas assigned earlier
+    /// in this same pass, so one idle node does not absorb the whole hot
+    /// set), node index as the tie-break — pure given cluster state.
+    /// Parked streams are then re-admitted through the normal
+    /// strict-FIFO retry, i.e. through the new replicas' own admission
+    /// controllers — Assumption 1 is never bypassed.
+    fn maybe_reseed(&mut self, cluster: &mut Cluster, now: Instant) {
+        let Some(after) = self.cfg.reseed_after else {
+            return;
+        };
+        for node in 0..cluster.node_count() {
+            if self.reseeded[node] {
+                continue;
+            }
+            let Some(since) = self.down_since[node] else {
+                continue;
+            };
+            if (now - since).as_secs_f64() < after.as_secs_f64() {
+                continue;
+            }
+            self.reseed(cluster, now, node);
+        }
+    }
+
+    /// Rebuilds the replica map for one downed node's movie set.
+    fn reseed(&mut self, cluster: &mut Cluster, at: Instant, node: usize) {
+        self.reseeded[node] = true;
+        let nodes = cluster.node_count();
+        let mut assigned = vec![0usize; nodes];
+        let mut moved = 0usize;
+        for m in 0..self.cfg.cluster.movies {
+            let video = VideoId::new(m as u64);
+            if !cluster.replicas_of(video).contains(&node) {
+                continue;
+            }
+            let target = (0..nodes)
+                .filter(|&ni| !cluster.is_down(ni))
+                .filter(|&ni| !cluster.replicas_of(video).contains(&ni))
+                .min_by_key(|&ni| (cluster.node_offered(ni) + assigned[ni], ni));
+            let Some(target) = target else {
+                // Every survivor already holds a replica (or none
+                // survive) — nothing to rebuild for this movie.
+                continue;
+            };
+            if cluster.rereplicate(video, target) {
+                assigned[target] += 1;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            return;
+        }
+        self.summary.rereplications += moved as u64;
+        self.obs
+            .emit_with(EventKind::ReplicaRebuilt, || Event::ReplicaRebuilt {
+                at,
+                node,
+                movies: moved,
+            });
+        self.obs
+            .metrics()
+            .counter(CTR_REREPLICATIONS)
+            .add(moved as u64);
+        // Re-admission pass: parked streams whose candidate lists just
+        // grew a rebuilt replica get their strict-FIFO retry now.
+        cluster.retry_parked(at);
     }
 
     /// Applies the failover policy to one crash's evicted streams.
@@ -387,6 +520,7 @@ impl<'a> ChaosState<'a> {
         if let Some(since) = self.down_since[node].take() {
             self.ttr.push((at - since).as_secs_f64());
         }
+        self.reseeded[node] = false;
         cluster.rejoin_node(node);
         // Re-admission pass: parked requests whose candidates include
         // this node get their strict-FIFO retry now.
@@ -410,6 +544,7 @@ impl<'a> ChaosState<'a> {
     }
 
     fn finish(mut self, cluster: &Cluster) -> ChaosSummary {
+        self.summary.rereplicated = cluster.rereplicated_streams();
         let end = self.horizon;
         // Close never-rejoined down-intervals at the horizon.
         let mut downtime: f64 = self.ttr.iter().sum();

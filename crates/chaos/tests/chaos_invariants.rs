@@ -43,6 +43,7 @@ fn chaos_cfg(nodes: usize, movies: usize, schedule: FaultSchedule) -> ChaosConfi
         schedule,
         failover: FailoverPolicy::Migrate,
         recovery: RecoveryPolicy::Warm,
+        reseed_after: None,
     }
 }
 
@@ -201,6 +202,7 @@ proptest! {
             schedule,
             failover: FailoverPolicy::ALL[failover_idx],
             recovery: RecoveryPolicy::Warm,
+            reseed_after: None,
         };
         let a = run_chaos(&cfg, &wl.arrivals, 1, Obs::null()).expect("valid chaos config");
         prop_assert_eq!(a.cluster.underflows(), 0, "buffer underflow under chaos");

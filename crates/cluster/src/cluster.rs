@@ -95,6 +95,11 @@ struct Parked {
     candidates: Vec<usize>,
     /// The lifecycle trace minted at dispatch (observability only).
     trace: TraceId,
+    /// True for failover-parked migrants (streams interrupted by a
+    /// crash), false for fresh arrivals that overflowed. Re-replication
+    /// accounting only counts migrants re-admitted via a rebuilt
+    /// replica.
+    migrant: bool,
 }
 
 /// Scope salt separating front-end-minted request traces from the
@@ -115,6 +120,13 @@ pub struct Cluster {
     overflow_queued: u64,
     /// Cluster-scope imbalance-ratio series, when attached.
     imbalance_series: Option<Arc<Series>>,
+    /// `(video, node)` pairs added by fault-triggered re-replication
+    /// ([`Self::rereplicate`]). Empty on the healthy path, so the
+    /// overflow retry pays one `is_empty` check and nothing else.
+    fresh_replicas: Vec<(vod_types::VideoId, usize)>,
+    /// Failover-parked migrants re-admitted through a rebuilt replica's
+    /// own admission controller.
+    rereplicated: u64,
 }
 
 impl Cluster {
@@ -170,6 +182,8 @@ impl Cluster {
             redirected: 0,
             overflow_queued: 0,
             imbalance_series: None,
+            fresh_replicas: Vec::new(),
+            rereplicated: 0,
         })
     }
 
@@ -338,7 +352,7 @@ impl Cluster {
             if self.nodes[ni].down {
                 // The only replica is crashed: park until it rejoins
                 // (or the end-of-trace flush / chaos drop sweep).
-                self.park(a, vec![ni], trace);
+                self.park(a, vec![ni], trace, false);
                 return;
             }
             self.trace_dispatch(a.at, trace, ni);
@@ -362,13 +376,13 @@ impl Cluster {
         }
         // Every replica would defer or reject: queue cluster-wide and
         // retry at the next dispatch instant.
-        self.park(a, order, trace);
+        self.park(a, order, trace, false);
     }
 
     /// Parks one arrival cluster-wide with its candidate preference
     /// order, emitting the `Parked` dispatch span (an anomaly trigger
     /// for the flight recorder).
-    fn park(&mut self, a: &Arrival, candidates: Vec<usize>, trace: TraceId) {
+    fn park(&mut self, a: &Arrival, candidates: Vec<usize>, trace: TraceId, migrant: bool) {
         self.overflow_queued += 1;
         if self.obs.tracing() {
             let sp = SpanId::derive(trace, SEQ_DISPATCH);
@@ -387,6 +401,7 @@ impl Cluster {
             arrival: *a,
             candidates,
             trace,
+            migrant,
         });
     }
 
@@ -474,6 +489,12 @@ impl Cluster {
                 return;
             };
             let head = self.queue.pop_front().expect("front exists");
+            if head.migrant
+                && !self.fresh_replicas.is_empty()
+                && self.fresh_replicas.contains(&(head.arrival.video, target))
+            {
+                self.rereplicated += 1;
+            }
             if self.obs.tracing() {
                 let sp = SpanId::derive(head.trace, SEQ_RETRY);
                 self.obs
@@ -607,12 +628,34 @@ impl Cluster {
         self.nodes[ni].engine.set_memory_factor(memory);
     }
 
-    /// Rejoins node `ni`: marks it up and clears any throttles. The
-    /// caller re-admits parked streams via [`Self::retry_parked`].
+    /// Degrades one disk of node `ni` to `fraction` of its capacity
+    /// share (see [`DiskEngine::set_disk_factor`]) — a partial fault:
+    /// the node stays up and routable, only its admission bound shrinks
+    /// by the degraded share.
+    pub fn degrade_disk(&mut self, ni: usize, disk: usize, fraction: f64) {
+        self.nodes[ni].engine.set_disk_factor(disk, fraction);
+    }
+
+    /// Sets node `ni`'s deterministic disk error rate (see
+    /// [`DiskEngine::set_error_rate`]): a rate `r` multiplies the
+    /// admission bound by `1 − r`.
+    pub fn set_disk_error(&mut self, ni: usize, rate: f64) {
+        self.nodes[ni].engine.set_error_rate(rate);
+    }
+
+    /// Number of disks each node's engine is configured with (partial
+    /// disk faults must target an existing disk).
+    #[must_use]
+    pub fn disks_per_node(&self) -> usize {
+        self.cfg.engine.disks
+    }
+
+    /// Rejoins node `ni`: marks it up and clears every throttle —
+    /// whole-node and per-disk. The caller re-admits parked streams via
+    /// [`Self::retry_parked`].
     pub fn rejoin_node(&mut self, ni: usize) {
         self.nodes[ni].down = false;
-        self.nodes[ni].engine.set_capacity_factor(1.0);
-        self.nodes[ni].engine.set_memory_factor(1.0);
+        self.nodes[ni].engine.clear_throttles();
     }
 
     /// Retries the overflow queue at `now` outside an arrival step — the
@@ -634,7 +677,33 @@ impl Cluster {
     /// order (sibling replicas of the crashed node). It re-enters
     /// service through the normal overflow retry path.
     pub fn park_migrant(&mut self, a: &Arrival, candidates: Vec<usize>, trace: TraceId) {
-        self.park(a, candidates, trace);
+        self.park(a, candidates, trace, true);
+    }
+
+    /// Re-replication hook: adds `ni` to `video`'s replica set and
+    /// extends matching parked entries' candidate lists, so the rebuilt
+    /// replica is reachable by the normal strict-FIFO retry — parked
+    /// streams re-enter through the new replica's *own* admission
+    /// controller, never around it. Returns `false` when `ni` already
+    /// holds a replica (nothing to rebuild).
+    pub fn rereplicate(&mut self, video: vod_types::VideoId, ni: usize) -> bool {
+        if !self.placement.add_replica(video, ni) {
+            return false;
+        }
+        self.fresh_replicas.push((video, ni));
+        for p in &mut self.queue {
+            if p.arrival.video == video && !p.candidates.contains(&ni) {
+                p.candidates.push(ni);
+            }
+        }
+        true
+    }
+
+    /// Failover-parked migrants re-admitted through a rebuilt replica
+    /// (see [`Self::rereplicate`]); zero without re-replication.
+    #[must_use]
+    pub fn rereplicated_streams(&self) -> u64 {
+        self.rereplicated
     }
 
     /// Sweeps parked entries whose every candidate is down (they cannot

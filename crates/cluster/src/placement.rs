@@ -141,6 +141,22 @@ impl Placement {
     pub fn movies(&self) -> usize {
         self.replicas.len()
     }
+
+    /// Grows `video`'s replica set by `node` (appended last, so existing
+    /// preference order is undisturbed). Returns `false` — and leaves the
+    /// map untouched — when the video is unknown or the node already
+    /// holds a replica. This is the re-replication hook: fault recovery
+    /// re-places a downed node's movies onto survivors.
+    pub fn add_replica(&mut self, video: VideoId, node: usize) -> bool {
+        let Some(set) = self.replicas.get_mut(video.raw() as usize) else {
+            return false;
+        };
+        if set.contains(&node) {
+            return false;
+        }
+        set.push(node);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +216,24 @@ mod tests {
             assert_eq!(uniq.len(), 3, "replicas must be distinct nodes");
         }
         assert_eq!(p.replicas_of(VideoId::new(9)).len(), 1, "cold tail");
+    }
+
+    #[test]
+    fn add_replica_appends_without_disturbing_preference_order() {
+        let policy = PlacementPolicy::ReplicatedHot {
+            replicas: 2,
+            hot_movies: 2,
+        };
+        let mut p = Placement::build(policy, &zipfish(6), 4).expect("valid");
+        let before = p.replicas_of(VideoId::new(0)).to_vec();
+        assert!(p.add_replica(VideoId::new(0), 3));
+        let after = p.replicas_of(VideoId::new(0));
+        assert_eq!(&after[..before.len()], &before[..]);
+        assert_eq!(*after.last().expect("non-empty"), 3);
+        // Idempotent: a node already holding a replica is refused.
+        assert!(!p.add_replica(VideoId::new(0), 3));
+        // Unknown videos are refused, not panicked on.
+        assert!(!p.add_replica(VideoId::new(99), 1));
     }
 
     #[test]

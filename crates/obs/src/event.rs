@@ -71,11 +71,13 @@ pub enum EventKind {
     FaultInjected,
     /// A cluster node recovered (rejoined) after a fault.
     NodeRecovered,
+    /// A downed node's replica set was rebuilt onto surviving nodes.
+    ReplicaRebuilt,
 }
 
 impl EventKind {
     /// Number of distinct kinds.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// Every kind, in index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -95,6 +97,7 @@ impl EventKind {
         EventKind::SpanEnd,
         EventKind::FaultInjected,
         EventKind::NodeRecovered,
+        EventKind::ReplicaRebuilt,
     ];
 
     /// Dense index (0-based, stable within a release).
@@ -117,6 +120,7 @@ impl EventKind {
             EventKind::SpanEnd => 13,
             EventKind::FaultInjected => 14,
             EventKind::NodeRecovered => 15,
+            EventKind::ReplicaRebuilt => 16,
         }
     }
 
@@ -149,6 +153,7 @@ impl EventKind {
             EventKind::SpanEnd => "span_end",
             EventKind::FaultInjected => "fault_injected",
             EventKind::NodeRecovered => "node_recovered",
+            EventKind::ReplicaRebuilt => "replica_rebuilt",
         }
     }
 }
@@ -346,6 +351,16 @@ pub enum Event {
         /// false when it paid a cold rebuild.
         warm: bool,
     },
+    /// A node stayed down past the re-replication horizon and its movies
+    /// were re-placed onto surviving nodes.
+    ReplicaRebuilt {
+        /// Rebuild time (simulated).
+        at: Instant,
+        /// The downed node whose hot set was re-placed.
+        node: usize,
+        /// Movies that gained a replacement replica.
+        movies: usize,
+    },
 }
 
 impl Event {
@@ -369,6 +384,7 @@ impl Event {
             Event::SpanEnd { .. } => EventKind::SpanEnd,
             Event::FaultInjected { .. } => EventKind::FaultInjected,
             Event::NodeRecovered { .. } => EventKind::NodeRecovered,
+            Event::ReplicaRebuilt { .. } => EventKind::ReplicaRebuilt,
         }
     }
 
@@ -391,7 +407,8 @@ impl Event {
             | Event::SpanAnnotate { at, .. }
             | Event::SpanEnd { at, .. }
             | Event::FaultInjected { at, .. }
-            | Event::NodeRecovered { at, .. } => at,
+            | Event::NodeRecovered { at, .. }
+            | Event::ReplicaRebuilt { at, .. } => at,
         }
     }
 
@@ -551,6 +568,10 @@ impl Event {
             Event::NodeRecovered { node, warm, .. } => {
                 o.uint("node", node as u64);
                 o.bool("warm", warm);
+            }
+            Event::ReplicaRebuilt { node, movies, .. } => {
+                o.uint("node", node as u64);
+                o.uint("movies", movies as u64);
             }
         }
         o.finish()

@@ -94,6 +94,15 @@ pub const CTR_FAILOVERS: &str = "vod_failovers_total";
 pub const CTR_STREAMS_DROPPED: &str = "vod_streams_dropped_total";
 /// Counter: node recoveries (rejoins) completed.
 pub const CTR_RECOVERIES: &str = "vod_recoveries_total";
+/// Counter: domain-level fault events (rack/zone) expanded into
+/// per-node faults.
+pub const CTR_DOMAIN_FAULTS: &str = "vod_domain_faults_total";
+/// Counter: movies re-replicated onto surviving nodes after a node
+/// stayed down past the re-replication horizon.
+pub const CTR_REREPLICATIONS: &str = "vod_rereplications_total";
+/// Counter: partial disk faults (per-disk degradations and error-rate
+/// throttles) applied to cluster nodes.
+pub const CTR_DISK_DEGRADATIONS: &str = "vod_disk_degradations_total";
 
 /// Per-node metric name: `vod_cluster_node<i>_<suffix>`. The node index
 /// is embedded in the name (not a label) so the registry's flat

@@ -83,6 +83,12 @@ pub struct EngineConfig {
     /// `--no-fast-forward` escape hatch taking the legacy hop-by-hop
     /// path.
     pub fast_forward: bool,
+    /// Number of physical disks the node's capacity is striped over
+    /// (≥ 1). Purely an admission-side partition: each disk carries an
+    /// equal share of the stream bound `N`, and a chaos `DiskDegrade`
+    /// fault throttles one share without downing the node. `1` (the
+    /// paper's single-disk model) is the default and the healthy path.
+    pub disks: usize,
 }
 
 impl EngineConfig {
@@ -104,6 +110,7 @@ impl EngineConfig {
             latency_model: LatencyModel::WorstCase,
             latency_seed: 0x5eed,
             fast_forward: true,
+            disks: 1,
         }
     }
 }
@@ -324,6 +331,21 @@ pub struct DiskEngine {
     /// gating discipline as `capacity_factor`); no-op when the config has
     /// no budget.
     memory_factor: f64,
+    /// Per-disk chaos throttles: the fraction of each disk's capacity
+    /// share still available (`1.0` = healthy). One entry per configured
+    /// disk. A degraded disk shrinks the node's effective stream bound
+    /// by its share — partial capacity loss without downing the node.
+    disk_factors: Vec<f64>,
+    /// Chaos error-rate throttle in `[0, 1]`: the fraction of requests
+    /// the node's disks fail and retry. Deterministic by the paper's
+    /// equivalence — an error rate `r` is a capacity multiplier `1 − r`
+    /// on the admission bound, never a random per-request coin flip.
+    error_rate: f64,
+    /// Cached product of every capacity-side throttle
+    /// (`capacity_factor × (1 − error_rate) × mean(disk_factors)`),
+    /// recomputed on each setter call so the admission path pays one
+    /// comparison. Exactly `1.0` when healthy.
+    capacity_combined: f64,
 }
 
 /// One stream (active or queued) evicted from a crashed engine — what a
@@ -380,6 +402,9 @@ impl DiskEngine {
         if !cfg.video_length.is_valid_duration() || cfg.video_length <= Seconds::ZERO {
             return Err(ConfigError::new("video_length", "must be positive"));
         }
+        if cfg.disks == 0 {
+            return Err(ConfigError::new("disks", "must be at least 1"));
+        }
         let rng = SmallRng::seed_from_u64(cfg.latency_seed);
         let sampled_disk = match cfg.latency_model {
             LatencyModel::WorstCase => None,
@@ -400,6 +425,7 @@ impl DiskEngine {
                 SchemeState::Dynamic(Box::new(ctl))
             }
         };
+        let disk_factors = vec![1.0; cfg.disks];
         Ok(DiskEngine {
             cfg,
             sizer,
@@ -437,6 +463,9 @@ impl DiskEngine {
             series: None,
             capacity_factor: 1.0,
             memory_factor: 1.0,
+            disk_factors,
+            error_rate: 0.0,
+            capacity_combined: 1.0,
         }
         .with_default_trace_scope())
     }
@@ -830,19 +859,28 @@ impl DiskEngine {
     }
 
     /// The disk-stream bound admission enforces: `N`, throttled to
-    /// `max(1, ⌊capacity_factor·N⌋)` while a `NodeSlow` fault is active.
-    /// Scheduling (cycle planning, buffer sizing) keeps using the true
-    /// `N` — only *admission* tightens, which can never cause an
-    /// underflow.
+    /// `max(1, ⌊combined·N⌋)` while any capacity-side fault is active,
+    /// where `combined = capacity_factor × (1 − error_rate) ×
+    /// mean(disk_factors)`. Scheduling (cycle planning, buffer sizing)
+    /// keeps using the true `N` — only *admission* tightens, which can
+    /// never cause an underflow.
     fn effective_max_requests(&self) -> usize {
         let n = self.cfg.params.max_requests();
-        if self.capacity_factor < 1.0 {
+        if self.capacity_combined < 1.0 {
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let throttled = (n as f64 * self.capacity_factor).floor() as usize;
+            let throttled = (n as f64 * self.capacity_combined).floor() as usize;
             throttled.max(1)
         } else {
             n
         }
+    }
+
+    /// Refreshes the cached capacity throttle product after any setter.
+    /// The product of all-1.0 factors is exactly `1.0`, so a healthy
+    /// engine keeps taking the unthrottled branch bit for bit.
+    fn recompute_capacity_combined(&mut self) {
+        let mean_disk = self.disk_factors.iter().sum::<f64>() / self.disk_factors.len() as f64;
+        self.capacity_combined = self.capacity_factor * (1.0 - self.error_rate) * mean_disk;
     }
 
     /// Chaos hook: throttles this node's effective stream bound to
@@ -850,6 +888,49 @@ impl DiskEngine {
     /// Deterministic and admission-only — see [`Self::effective_max_requests`].
     pub fn set_capacity_factor(&mut self, factor: f64) {
         self.capacity_factor = factor.clamp(0.0, 1.0);
+        self.recompute_capacity_combined();
+    }
+
+    /// Chaos hook for a *partial* disk fault: disk `disk` keeps only
+    /// `fraction` of its capacity share (clamped to `[0, 1]`; `1.0`
+    /// heals it). With `d` configured disks each owns `N/d` of the
+    /// stream bound, so degrading one disk multiplies the node's
+    /// admission capacity by `(d − 1 + fraction) / d` — a fraction of
+    /// the node throttles, the node stays up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is outside the configured disk count.
+    pub fn set_disk_factor(&mut self, disk: usize, fraction: f64) {
+        assert!(
+            disk < self.disk_factors.len(),
+            "disk {disk} outside the {}-disk engine",
+            self.disk_factors.len()
+        );
+        self.disk_factors[disk] = fraction.clamp(0.0, 1.0);
+        self.recompute_capacity_combined();
+    }
+
+    /// Chaos hook: a deterministic error-rate fault. A disk failing a
+    /// fraction `rate` of requests serves `(1 − rate) × N` streams, so
+    /// under the paper's "slower disk ≡ smaller N" equivalence the rate
+    /// maps to a capacity multiplier on the admission bound — no random
+    /// per-request failures, runs stay replayable. Clamped to `[0, 1]`;
+    /// `0.0` heals.
+    pub fn set_error_rate(&mut self, rate: f64) {
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self.recompute_capacity_combined();
+    }
+
+    /// Chaos hook: clears every throttle — capacity, memory, per-disk
+    /// factors, and error rate — restoring the healthy path (a node
+    /// rejoin heals partial faults along with whole-node ones).
+    pub fn clear_throttles(&mut self) {
+        self.capacity_factor = 1.0;
+        self.memory_factor = 1.0;
+        self.disk_factors.fill(1.0);
+        self.error_rate = 0.0;
+        self.capacity_combined = 1.0;
     }
 
     /// Chaos hook: scales the memory budget seen by admission's
